@@ -1,0 +1,314 @@
+// Benchmarks regenerating the paper's evaluation (one per table and
+// figure, plus ablations of DESIGN.md's design choices). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics carry the evaluation quantities: api/s for the Fig. 10
+// and Fig. 11 throughput rows, pathconds for the Sec. IV pruning
+// experiment, cycles and deadlocks for the diagnosis funnels.
+package weseer_test
+
+import (
+	"testing"
+	"time"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/smt"
+	"weseer/internal/solver"
+	"weseer/internal/trace"
+	"weseer/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table I / Table II: trace collection and diagnosis
+
+// BenchmarkTable1_TraceCollection measures collecting the Table I unit
+// tests' traces under full concolic execution.
+func BenchmarkTable1_TraceCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
+		traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(traces) != 7 {
+			b.Fatalf("traces = %d", len(traces))
+		}
+	}
+}
+
+func collectOnce(b *testing.B, app string) []*trace.Trace {
+	b.Helper()
+	var tests []appkit.UnitTest
+	switch app {
+	case "broadleaf":
+		tests = broadleaf.New(broadleaf.Fixes{}, minidb.Config{}).UnitTests()
+	case "shopizer":
+		tests = shopizer.New(shopizer.Fixes{}, minidb.Config{}).UnitTests()
+	}
+	traces, err := appkit.Collect(tests, concolic.ModeConcolic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return traces
+}
+
+// BenchmarkTable2_Diagnosis measures the full three-phase diagnosis over
+// both applications, reporting how many Table II entries were found.
+func BenchmarkTable2_Diagnosis(b *testing.B) {
+	bl := collectOnce(b, "broadleaf")
+	sh := collectOnce(b, "shopizer")
+	b.ResetTimer()
+	var found int
+	for i := 0; i < b.N; i++ {
+		blRes := core.New(broadleaf.Schema(), core.Options{}).Analyze(bl)
+		shRes := core.New(shopizer.Schema(), core.Options{}).Analyze(sh)
+		ids := map[string]bool{}
+		for _, d := range blRes.Deadlocks {
+			ids[broadleaf.Classify(d)] = true
+		}
+		for _, d := range shRes.Deadlocks {
+			ids[shopizer.Classify(d)] = true
+		}
+		found = 0
+		for _, exp := range append(broadleaf.Expectations(), shopizer.Expectations()...) {
+			if ids[exp.ID] {
+				found++
+			}
+		}
+	}
+	b.ReportMetric(float64(found), "deadlocks_found")
+	if found != 18 {
+		b.Fatalf("found %d of 18 cataloged deadlocks", found)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table III: engine-mode overhead
+
+func benchMode(b *testing.B, mode concolic.Mode) {
+	for i := 0; i < b.N; i++ {
+		app := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
+		for _, ut := range app.UnitTests() {
+			e := concolic.New(mode)
+			e.StartConcolic(ut.Name)
+			if err := ut.Run(e); err != nil {
+				b.Fatal(err)
+			}
+			e.EndConcolic()
+		}
+	}
+}
+
+// BenchmarkTable3_Original is native execution (no tracking).
+func BenchmarkTable3_Original(b *testing.B) { benchMode(b, concolic.ModeOff) }
+
+// BenchmarkTable3_Interpretive records statements without symbolic state.
+func BenchmarkTable3_Interpretive(b *testing.B) { benchMode(b, concolic.ModeInterpret) }
+
+// BenchmarkTable3_InterpretiveConcolic is full concolic execution.
+func BenchmarkTable3_InterpretiveConcolic(b *testing.B) { benchMode(b, concolic.ModeConcolic) }
+
+// ---------------------------------------------------------------------------
+// Fig. 10 / Fig. 11: runtime throughput
+
+func benchWorkload(b *testing.B, mk func() (*minidb.DB, workload.Flow)) {
+	var totalAPIs, totalDeadlocks int64
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		db, flow := mk()
+		res := workload.Run(workload.Config{
+			Clients:      32,
+			Duration:     200 * time.Millisecond,
+			RetryBackoff: time.Millisecond,
+			Seed:         42,
+		}, db, flow)
+		totalAPIs += res.APICalls
+		totalDeadlocks += res.Deadlocks
+		elapsed += res.Duration
+	}
+	b.ReportMetric(float64(totalAPIs)/elapsed.Seconds(), "api/s")
+	b.ReportMetric(float64(totalDeadlocks)/float64(b.N), "deadlocks/run")
+}
+
+func benchDBCfg() minidb.Config {
+	return minidb.Config{StatementDelay: 100 * time.Microsecond, LockWaitTimeout: 100 * time.Millisecond}
+}
+
+// BenchmarkFig10_EnableAll: Broadleaf with every fix applied.
+func BenchmarkFig10_EnableAll(b *testing.B) {
+	benchWorkload(b, func() (*minidb.DB, workload.Flow) {
+		app := broadleaf.New(broadleaf.AllFixes(), benchDBCfg())
+		return app.DB, app.Flow()
+	})
+}
+
+// BenchmarkFig10_DisableAll: Broadleaf with deadlocks left to the
+// database's detect-and-recover handling.
+func BenchmarkFig10_DisableAll(b *testing.B) {
+	benchWorkload(b, func() (*minidb.DB, workload.Flow) {
+		app := broadleaf.New(broadleaf.Fixes{}, benchDBCfg())
+		return app.DB, app.Flow()
+	})
+}
+
+// BenchmarkFig10_DisableF2: the paper's most damaging single ablation.
+func BenchmarkFig10_DisableF2(b *testing.B) {
+	benchWorkload(b, func() (*minidb.DB, workload.Flow) {
+		app := broadleaf.New(broadleaf.AllFixes().Disable("f2"), benchDBCfg())
+		return app.DB, app.Flow()
+	})
+}
+
+// BenchmarkFig11_EnableAll: Shopizer with every fix applied.
+func BenchmarkFig11_EnableAll(b *testing.B) {
+	benchWorkload(b, func() (*minidb.DB, workload.Flow) {
+		app := shopizer.New(shopizer.AllFixes(), benchDBCfg())
+		return app.DB, app.Flow()
+	})
+}
+
+// BenchmarkFig11_DisableAll: unfixed Shopizer.
+func BenchmarkFig11_DisableAll(b *testing.B) {
+	benchWorkload(b, func() (*minidb.DB, workload.Flow) {
+		app := shopizer.New(shopizer.Fixes{}, benchDBCfg())
+		return app.DB, app.Flow()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Sec. IV: path-condition pruning
+
+func benchPruning(b *testing.B, opts ...concolic.Option) {
+	var conds int
+	for i := 0; i < b.N; i++ {
+		app := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
+		traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conds = 0
+		for _, tr := range traces {
+			conds += tr.Stats.PathConds
+		}
+	}
+	b.ReportMetric(float64(conds), "pathconds")
+}
+
+// BenchmarkPruning_WithPruning: driver/built-in/container functions run
+// concretely (the Sec. IV simplification).
+func BenchmarkPruning_WithPruning(b *testing.B) { benchPruning(b) }
+
+// BenchmarkPruning_WithoutPruning: every library branch becomes a path
+// condition (the paper's 656K-condition regime).
+func BenchmarkPruning_WithoutPruning(b *testing.B) {
+	benchPruning(b, concolic.WithoutPruning())
+}
+
+// ---------------------------------------------------------------------------
+// Sec. VII-B: coarse baseline and phase ablations
+
+// BenchmarkBaseline_CoarseOnly: STEPDAD/REDACT-style coarse analysis —
+// orders of magnitude more cycles than confirmed deadlocks.
+func BenchmarkBaseline_CoarseOnly(b *testing.B) {
+	traces := collectOnce(b, "broadleaf")
+	b.ResetTimer()
+	var cycles int
+	for i := 0; i < b.N; i++ {
+		res := core.New(broadleaf.Schema(), core.Options{CoarseOnly: true}).Analyze(traces)
+		cycles = res.Stats.CoarseCycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// BenchmarkAblation_ThreePhase: the full funnel (DESIGN.md choice 1).
+func BenchmarkAblation_ThreePhase(b *testing.B) {
+	traces := collectOnce(b, "broadleaf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(broadleaf.Schema(), core.Options{}).Analyze(traces)
+	}
+}
+
+// BenchmarkAblation_NoPhase1 disables the transaction-level filter: every
+// transaction pair reaches cycle enumeration.
+func BenchmarkAblation_NoPhase1(b *testing.B) {
+	traces := collectOnce(b, "broadleaf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(broadleaf.Schema(), core.Options{SkipPhase1: true}).Analyze(traces)
+	}
+}
+
+// BenchmarkAblation_NoLockFilter disables the quick lock-collision test:
+// every deduplicated coarse cycle goes to the SMT solver.
+func BenchmarkAblation_NoLockFilter(b *testing.B) {
+	traces := collectOnce(b, "broadleaf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(broadleaf.Schema(), core.Options{SkipLockFilter: true}).Analyze(traces)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Solver microbenchmarks
+
+// BenchmarkSolver_Fig9Formula solves a Fig. 9-shaped deadlock formula:
+// two conflict conditions plus path conditions.
+func BenchmarkSolver_Fig9Formula(b *testing.B) {
+	a1 := smt.NewVar("A1.order_id", smt.SortInt)
+	a2 := smt.NewVar("A2.order_id", smt.SortInt)
+	p1 := smt.NewVar("A1.res4.row0.p.ID", smt.SortInt)
+	p2 := smt.NewVar("A2.res4.row0.p.ID", smt.SortInt)
+	q1 := smt.NewVar("A1.res4.row0.p.QTY", smt.SortInt)
+	q2 := smt.NewVar("A2.res4.row0.p.QTY", smt.SortInt)
+	f := smt.And(
+		smt.Ne(a1, smt.Int(-1)), smt.Ne(a2, smt.Int(-1)),
+		smt.Ge(q1, smt.Int(1)), smt.Ge(q2, smt.Int(1)),
+		smt.Eq(smt.NewVar("r1.p.ID", smt.SortInt), p1),
+		smt.Eq(smt.NewVar("r1.p.ID", smt.SortInt), p2),
+		smt.Eq(smt.NewVar("r2.p.ID", smt.SortInt), p2),
+		smt.Eq(smt.NewVar("r2.p.ID", smt.SortInt), p1),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := solver.Solve(f); res.Status != solver.SAT {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkMinidb_PointSelect measures the database substrate's hot path.
+func BenchmarkMinidb_PointSelect(b *testing.B) {
+	app := broadleaf.New(broadleaf.AllFixes(), minidb.Config{})
+	e := concolic.New(concolic.ModeOff)
+	conn := concolic.NewConn(e, app.DB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn.Begin()
+		if _, err := conn.Exec(`SELECT * FROM Product p WHERE p.ID = ?`,
+			[]concolic.Value{concolic.Int(int64(i%32 + 1))}, trace.CodeLoc{}); err != nil {
+			b.Fatal(err)
+		}
+		conn.Commit()
+	}
+}
+
+// BenchmarkAblation_ConcretePlans runs the analyzer with lock modeling
+// restricted to recorded execution plans (the paper's Sec. V-D
+// future-work refinement), reporting the resulting report-group count.
+func BenchmarkAblation_ConcretePlans(b *testing.B) {
+	traces := collectOnce(b, "broadleaf")
+	b.ResetTimer()
+	var groups int
+	for i := 0; i < b.N; i++ {
+		res := core.New(broadleaf.Schema(), core.Options{UseConcretePlans: true}).Analyze(traces)
+		groups = len(res.Deadlocks)
+	}
+	b.ReportMetric(float64(groups), "reports")
+}

@@ -1,0 +1,226 @@
+// Command weseer runs WeSEER's deadlock diagnosis pipeline over the
+// bundled model applications: it collects transaction traces by running
+// the apps' API unit tests under concolic execution, analyzes them with
+// the three-phase diagnosis, and prints the deadlock report.
+//
+// Usage:
+//
+//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-plans] [-reproduce] [-v]
+//	weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
+//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse]
+//
+// "run" pipes collection into analysis; "collect"/"analyze" split the
+// stages through a JSON trace file (Fig. 2's trace hand-off). -plans
+// restricts lock modeling to recorded execution plans and -reproduce
+// replays every report against a live database — the paper's two
+// Sec. V-D future-work items.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/replay"
+	"weseer/internal/schema"
+	"weseer/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weseer:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-plans] [-reproduce] [-v]
+  weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
+  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse]`)
+}
+
+// appUnit bundles what the CLI needs from a model application.
+type appUnit struct {
+	schema   *schema.Schema
+	db       *minidb.DB
+	tests    []appkit.UnitTest
+	classify func(*core.Deadlock) string
+}
+
+func makeApp(name string, fixed bool) (*appUnit, error) {
+	switch name {
+	case "broadleaf":
+		fixes := broadleaf.Fixes{}
+		if fixed {
+			fixes = broadleaf.AllFixes()
+		}
+		app := broadleaf.New(fixes, minidb.Config{})
+		return &appUnit{schema: broadleaf.Schema(), db: app.DB, tests: app.UnitTests(), classify: broadleaf.Classify}, nil
+	case "shopizer":
+		fixes := shopizer.Fixes{}
+		if fixed {
+			fixes = shopizer.AllFixes()
+		}
+		app := shopizer.New(fixes, minidb.Config{})
+		return &appUnit{schema: shopizer.Schema(), db: app.DB, tests: app.UnitTests(), classify: shopizer.Classify}, nil
+	}
+	return nil, fmt.Errorf("unknown app %q (want broadleaf or shopizer)", name)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	appName := fs.String("app", "broadleaf", "application to diagnose")
+	fixed := fs.Bool("fixed", false, "apply the Table II fixes before collecting")
+	coarse := fs.Bool("coarse", false, "STEPDAD/REDACT-style coarse baseline (no SMT)")
+	plans := fs.Bool("plans", false, "restrict lock modeling to recorded execution plans (Sec. V-D)")
+	reproduce := fs.Bool("reproduce", false, "replay every report against a live database (Sec. V-D)")
+	verbose := fs.Bool("v", false, "print every deadlock report")
+	fs.Parse(args)
+
+	app, err := makeApp(*appName, *fixed)
+	if err != nil {
+		return err
+	}
+	traces, err := appkit.Collect(app.tests, concolic.ModeConcolic)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d traces:\n", len(traces))
+	for _, tr := range traces {
+		fmt.Printf("  %-10s %2d txns, %2d statements, %3d path conditions\n",
+			tr.API, len(tr.Txns), tr.Stats.Statements, tr.Stats.PathConds)
+	}
+	res := core.New(app.schema, core.Options{CoarseOnly: *coarse, UseConcretePlans: *plans}).Analyze(traces)
+	printReport(res, app.classify, *verbose)
+	if *reproduce && !*coarse {
+		fmt.Println("\nautomatic reproduction (replaying each cycle against a rebuilt database):")
+		outcomes := replay.ReproduceReport(res, func() (*minidb.DB, []appkit.UnitTest) {
+			fresh, _ := makeApp(*appName, *fixed)
+			return fresh.db, fresh.tests
+		})
+		counts := map[replay.Status]int{}
+		for _, o := range outcomes {
+			counts[o.Status]++
+		}
+		fmt.Printf("  %d DEADLOCKED, %d blocked, %d no-conflict, %d setup-failed (of %d reports)\n",
+			counts[replay.Deadlocked], counts[replay.Blocked],
+			counts[replay.NoConflict], counts[replay.SetupFailed], len(outcomes))
+	}
+	return nil
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	appName := fs.String("app", "broadleaf", "application to diagnose")
+	fixed := fs.Bool("fixed", false, "apply the Table II fixes")
+	noPrune := fs.Bool("no-prune", false, "disable Sec. IV path-condition pruning")
+	out := fs.String("o", "traces.json", "output file")
+	fs.Parse(args)
+
+	app, err := makeApp(*appName, *fixed)
+	if err != nil {
+		return err
+	}
+	var opts []concolic.Option
+	if *noPrune {
+		opts = append(opts, concolic.WithoutPruning())
+	}
+	traces, err := appkit.Collect(app.tests, concolic.ModeConcolic, opts...)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(traces, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	total := 0
+	for _, tr := range traces {
+		total += tr.Stats.PathConds
+	}
+	fmt.Printf("wrote %d traces (%d path conditions) to %s\n", len(traces), total, *out)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	appName := fs.String("app", "broadleaf", "application the traces came from")
+	in := fs.String("i", "traces.json", "input trace file")
+	coarse := fs.Bool("coarse", false, "coarse baseline (no SMT)")
+	verbose := fs.Bool("v", false, "print every deadlock report")
+	fs.Parse(args)
+
+	app, err := makeApp(*appName, false)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var traces []*trace.Trace
+	if err := json.Unmarshal(data, &traces); err != nil {
+		return err
+	}
+	res := core.New(app.schema, core.Options{CoarseOnly: *coarse}).Analyze(traces)
+	printReport(res, app.classify, *verbose)
+	return nil
+}
+
+func printReport(res *core.Result, classify func(*core.Deadlock) string, verbose bool) {
+	fmt.Println(res.Stats.Render())
+	counts := map[string][]*core.Deadlock{}
+	for _, d := range res.Deadlocks {
+		id := classify(d)
+		counts[id] = append(counts[id], d)
+	}
+	fmt.Printf("\n%d deadlock reports, by Table II catalog entry:\n", len(res.Deadlocks))
+	for _, id := range []string{
+		"d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "d10",
+		"d11", "d12", "d13", "d14", "d15", "d16", "d17", "d18",
+		"fp-checkout-applock", "extra", "",
+	} {
+		ds := counts[id]
+		if len(ds) == 0 {
+			continue
+		}
+		label := id
+		if label == "" {
+			label = "(unclassified)"
+		}
+		d := ds[0]
+		fmt.Printf("  %-20s %3d report(s)  e.g. %s — %s on [%s, %s]\n",
+			label, len(ds), d.APIs[0], d.APIs[1], d.Cycle.Table1, d.Cycle.Table2)
+	}
+	if verbose {
+		for i, d := range res.Deadlocks {
+			fmt.Printf("\n=== Deadlock %d (%s) ===\n%s", i+1, classify(d), d.Render())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module weseer
+
+go 1.22

@@ -1,0 +1,72 @@
+// Package appkit provides the shared harness the model applications
+// (Broadleaf, Shopizer) expose to WeSEER: API unit tests for trace
+// collection, sequential collection semantics matching the paper
+// (each unit test's resulting database state is the next one's initial
+// state), and helpers for classifying analyzer output against the
+// Table II deadlock catalog.
+package appkit
+
+import (
+	"fmt"
+
+	"weseer/internal/concolic"
+	"weseer/internal/trace"
+)
+
+// UnitTest is one API unit test: it marks the API inputs symbolic and
+// invokes the API once. Name becomes the trace's API name (Table I uses
+// Add1/Add2/Add3 to distinguish the three Add invocations' paths).
+type UnitTest struct {
+	Name string
+	Run  func(e *concolic.Engine) error
+}
+
+// Collect runs the unit tests sequentially under one engine mode and
+// returns their traces. The tests share the application's database, so
+// state accumulates exactly as in the paper's methodology.
+func Collect(tests []UnitTest, mode concolic.Mode, opts ...concolic.Option) ([]*trace.Trace, error) {
+	var out []*trace.Trace
+	for _, ut := range tests {
+		e := concolic.New(mode, opts...)
+		e.StartConcolic(ut.Name)
+		err := ut.Run(e)
+		tr := e.EndConcolic()
+		if err != nil {
+			return nil, fmt.Errorf("appkit: unit test %s: %w", ut.Name, err)
+		}
+		if tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}
+
+// Expectation describes one Table II deadlock: its id, the APIs that can
+// form it, the conflict table, and the fix that removes it.
+type Expectation struct {
+	ID    string // "d1" .. "d18"
+	Apps  string // "Broadleaf" or "Shopizer"
+	APIs  string // rendered API pair, e.g. "Register — Register"
+	Desc  string
+	Fix   string // e.g. "f1: Use correct ORM operation"
+	Table string // the conflict table identifying the deadlock
+}
+
+// RunPrefix executes the first n unit tests natively (ModeOff), rebuilding
+// the database state a later test's trace was collected against — the
+// replay framework uses it before reproducing a reported deadlock.
+func RunPrefix(tests []UnitTest, n int) error {
+	if n > len(tests) {
+		n = len(tests)
+	}
+	for _, ut := range tests[:n] {
+		e := concolic.New(concolic.ModeOff)
+		e.StartConcolic(ut.Name)
+		err := ut.Run(e)
+		e.EndConcolic()
+		if err != nil {
+			return fmt.Errorf("appkit: replaying %s: %w", ut.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package broadleaf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"weseer/internal/concolic"
+	"weseer/internal/minidb"
+	"weseer/internal/orm"
+)
+
+// Application-level errors (HTTP 4xx analogs).
+var (
+	ErrPasswordMismatch = errors.New("broadleaf: passwords do not match")
+	ErrBadUsername      = errors.New("broadleaf: empty username")
+	ErrNoCart           = errors.New("broadleaf: customer has no cart")
+	ErrOutOfStock       = errors.New("broadleaf: not enough products")
+)
+
+// Fixes toggles the application-side deadlock fixes f1–f8 of Table II.
+// The unfixed application (zero value) exhibits deadlocks d1–d13.
+type Fixes struct {
+	F1 bool // d1: use persist instead of merge when registering
+	F2 bool // d2: replace cart-lock check-then-insert with an UPSERT
+	F3 bool // d3, d4: run order-item existence SELECTs in a separate txn
+	F4 bool // d5, d6: flush offer/fulfillment-option updates early
+	F5 bool // d7, d8, d9: run cart-pricing SELECTs in a separate txn
+	F6 bool // d10: insert the address first, then point-select it
+	F7 bool // d11: run the shipping-adjustment SELECT in a separate txn
+	F8 bool // d12, d13: run tax/fee SELECTs in a separate txn
+}
+
+// AllFixes enables every fix.
+func AllFixes() Fixes {
+	return Fixes{F1: true, F2: true, F3: true, F4: true, F5: true, F6: true, F7: true, F8: true}
+}
+
+// Disable returns the fix set with one fix (by name, e.g. "f2") turned
+// off — the Fig. 10 ablation configurations.
+func (f Fixes) Disable(name string) Fixes {
+	switch name {
+	case "f1":
+		f.F1 = false
+	case "f2":
+		f.F2 = false
+	case "f3":
+		f.F3 = false
+	case "f4":
+		f.F4 = false
+	case "f5":
+		f.F5 = false
+	case "f6":
+		f.F6 = false
+	case "f7":
+		f.F7 = false
+	case "f8":
+		f.F8 = false
+	default:
+		panic("broadleaf: unknown fix " + name)
+	}
+	return f
+}
+
+// FixNames lists the Broadleaf fixes in Fig. 10 order.
+func FixNames() []string {
+	return []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"}
+}
+
+// App is one deployment of the model application over its database.
+type App struct {
+	DB      *minidb.DB
+	Mapping *orm.Mapping
+	Fixes   Fixes
+
+	// inventoryMu is Broadleaf's own application-level lock protecting
+	// checkout's product-quantity updates (the ad-hoc synchronization of
+	// Sec. V-D that WeSEER cannot see — a documented false-positive
+	// source). It is always on; it is not one of the f1–f8 toggles.
+	inventoryMu sync.Mutex
+
+	// NumProducts is the size of the seeded catalog.
+	NumProducts int
+}
+
+// New creates an application instance with a fresh seeded database.
+func New(fixes Fixes, cfg minidb.Config) *App {
+	if cfg.LockWaitTimeout == 0 {
+		cfg.LockWaitTimeout = 2 * time.Second
+	}
+	a := &App{
+		DB:          minidb.Open(Schema(), cfg),
+		Mapping:     NewMapping(),
+		Fixes:       fixes,
+		NumProducts: 32,
+	}
+	a.seed()
+	return a
+}
+
+// seed loads the product catalog with its per-product offer and
+// fulfillment-option rows.
+func (a *App) seed() {
+	e := concolic.New(concolic.ModeOff)
+	s := a.session(e)
+	err := s.Transactional(func() error {
+		for i := 1; i <= a.NumProducts; i++ {
+			id := concolic.Int(int64(i))
+			p := s.NewEntity("Product")
+			s.Set(p, "ID", id)
+			s.Set(p, "QTY", concolic.Int(1_000_000))
+			s.Set(p, "PRICE", concolic.Int(int64(10+i)))
+			s.Persist(p)
+			of := s.NewEntity("Offer")
+			s.Set(of, "ID", id)
+			s.Set(of, "USES", concolic.Int(0))
+			s.Persist(of)
+			fo := s.NewEntity("FulfillmentOption")
+			s.Set(fo, "ID", id)
+			s.Set(fo, "USES", concolic.Int(0))
+			s.Persist(fo)
+			os := s.NewEntity("OfferStat")
+			s.Set(os, "ID", id)
+			s.Set(os, "VIEWS", concolic.Int(0))
+			s.Persist(os)
+			fs := s.NewEntity("FulfillmentStat")
+			s.Set(fs, "ID", id)
+			s.Set(fs, "VIEWS", concolic.Int(0))
+			s.Persist(fs)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("broadleaf: seeding failed: %v", err))
+	}
+	a.DB.BumpID("Product", int64(a.NumProducts))
+}
+
+// session opens a fresh persistence context for one API call.
+func (a *App) session(e *concolic.Engine) *orm.Session {
+	return orm.NewSession(a.Mapping, concolic.NewConn(e, a.DB))
+}
+
+// probeSession opens a second persistence context used when a fix moves
+// SELECT statements into their own transaction (f3/f5/f7/f8).
+func (a *App) probeSession(e *concolic.Engine) *orm.Session {
+	return orm.NewSession(a.Mapping, concolic.NewConn(e, a.DB))
+}
+
+// selectorFor returns the session that existence-check SELECTs should run
+// on: the main session (in-transaction — deadlock-prone) or a separate
+// auto-committing probe session when the fix is enabled.
+func selectorFor(fixOn bool, main, probe *orm.Session) *orm.Session {
+	if fixOn {
+		return probe
+	}
+	return main
+}

@@ -1,0 +1,78 @@
+package broadleaf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weseer/internal/concolic"
+	"weseer/internal/workload"
+)
+
+// Flow returns the Fig. 10 client behavior: each client simulates one
+// customer at a time, sequentially issuing the Table I API sequence —
+// Register, Add ×3 (the second product twice, exercising Add1/Add2/Add3),
+// Ship, Payment, Checkout — then starts over as a fresh customer.
+// Products are drawn from the shared catalog, so clients contend on the
+// shared rows and index gaps behind d1–d13.
+func (a *App) Flow() workload.Flow {
+	return func(clientID int64, rng *rand.Rand) func() workload.Step {
+		var cust concolic.Value
+		var registered bool
+		var p1, p2 int64
+		seq := 0
+		return func() workload.Step {
+			phase := seq % 7
+			seq++
+			if phase != 0 && !registered {
+				// Registration never succeeded this cycle; restart with a
+				// fresh customer.
+				seq = 0
+				return func(e *concolic.Engine) (string, error) {
+					return "Skip", errNotRegistered
+				}
+			}
+			switch phase {
+			case 0:
+				return func(e *concolic.Engine) (string, error) {
+					name := fmt.Sprintf("c%d-%d", clientID, seq)
+					id, err := a.Register(e,
+						concolic.Str(name), concolic.Str(name+"@x"),
+						concolic.Str("pw"), concolic.Str("pw"))
+					registered = err == nil
+					if err == nil {
+						cust = concolic.Int(id)
+						p1 = 1 + rng.Int63n(int64(a.NumProducts))
+						p2 = 1 + rng.Int63n(int64(a.NumProducts))
+					}
+					return "Register", err
+				}
+			case 1:
+				return func(e *concolic.Engine) (string, error) {
+					return "Add", a.Add(e, cust, concolic.Int(p1))
+				}
+			case 2:
+				return func(e *concolic.Engine) (string, error) {
+					return "Add", a.Add(e, cust, concolic.Int(p2))
+				}
+			case 3:
+				return func(e *concolic.Engine) (string, error) {
+					return "Add", a.Add(e, cust, concolic.Int(p2))
+				}
+			case 4:
+				return func(e *concolic.Engine) (string, error) {
+					return "Ship", a.Ship(e, cust, concolic.Str("nyc"), concolic.Str("555"))
+				}
+			case 5:
+				return func(e *concolic.Engine) (string, error) {
+					return "Payment", a.Payment(e, cust, concolic.Str("1 Main St"), concolic.Str("555"))
+				}
+			default:
+				return func(e *concolic.Engine) (string, error) {
+					return "Checkout", a.Checkout(e, cust)
+				}
+			}
+		}
+	}
+}
+
+var errNotRegistered = fmt.Errorf("broadleaf: client has no registered customer")

@@ -1,0 +1,161 @@
+// Package broadleaf is a model of the Broadleaf Commerce application's
+// transactional core: the five Table I APIs (Register, Add, Ship,
+// Payment, Checkout) with the ORM usage patterns behind the thirteen
+// Broadleaf deadlocks of Table II (d1–d13) and the application-side fixes
+// f1–f8 as toggles. The real application is 190K LoC of Java; this model
+// preserves the statement shapes, ORM behaviors (merge vs persist, read
+// caching, write-behind reordering, lazy loading), and locking patterns
+// that the paper's evaluation exercises.
+package broadleaf
+
+import (
+	"weseer/internal/orm"
+	"weseer/internal/schema"
+)
+
+// Schema returns the model's relational schema.
+func Schema() *schema.Schema {
+	s := schema.New()
+	s.AddTable("Customer").
+		Col("ID", schema.Int).
+		Col("USERNAME", schema.Varchar).
+		Col("EMAIL", schema.Varchar).
+		Col("PASSWORD", schema.Varchar).
+		PrimaryKey("ID").
+		UniqueIndex("uniq_customer_username", "USERNAME")
+	s.AddTable("Product").
+		Col("ID", schema.Int).
+		Col("QTY", schema.Int).
+		Col("PRICE", schema.Decimal).
+		PrimaryKey("ID")
+	s.AddTable("Cart").
+		Col("ID", schema.Int).
+		Col("CUSTOMER_ID", schema.Int).
+		Col("STATUS", schema.Varchar).
+		PrimaryKey("ID").
+		Index("idx_cart_customer", "CUSTOMER_ID").
+		ForeignKey([]string{"CUSTOMER_ID"}, "Customer", []string{"ID"})
+	// CartLock backs Broadleaf's application-level cart locking rows
+	// (deadlock d2): one row per cart, created on first contended use.
+	s.AddTable("CartLock").
+		Col("ID", schema.Int). // cart id
+		Col("LOCKED", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("Orders").
+		Col("ID", schema.Int).
+		Col("CUSTOMER_ID", schema.Int).
+		Col("STATUS", schema.Varchar).
+		Col("TOTAL", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_orders_customer", "CUSTOMER_ID").
+		ForeignKey([]string{"CUSTOMER_ID"}, "Customer", []string{"ID"})
+	s.AddTable("OrderItem").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("PRODUCT_ID", schema.Int).
+		Col("QTY", schema.Int).
+		Col("PRICE", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_oi_order", "ORDER_ID").
+		ForeignKey([]string{"ORDER_ID"}, "Orders", []string{"ID"}).
+		ForeignKey([]string{"PRODUCT_ID"}, "Product", []string{"ID"})
+	s.AddTable("OrderItemPriceDetail").
+		Col("ID", schema.Int).
+		Col("ORDER_ITEM_ID", schema.Int).
+		Col("AMOUNT", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_oipd_item", "ORDER_ITEM_ID")
+	s.AddTable("FulfillmentGroup").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("TOTAL", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_fg_order", "ORDER_ID")
+	s.AddTable("FulfillmentItem").
+		Col("ID", schema.Int).
+		Col("FG_ID", schema.Int).
+		Col("ORDER_ITEM_ID", schema.Int).
+		Col("QTY", schema.Int).
+		PrimaryKey("ID").
+		Index("idx_fi_group", "FG_ID")
+	// Offer/OfferStat and FulfillmentOption/FulfillmentStat are shared
+	// per-product row pairs. The Add2 path modifies the counter rows but
+	// the write-behind cache defers those UPDATEs until commit — after
+	// the stat-row reads — while the Add3 path updates both eagerly in
+	// program order. The reordering produces deadlocks d5/d6, which fix
+	// f4's early flush removes by restoring program order.
+	s.AddTable("Offer").
+		Col("ID", schema.Int). // product id
+		Col("USES", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("FulfillmentOption").
+		Col("ID", schema.Int). // product id
+		Col("USES", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("OfferStat").
+		Col("ID", schema.Int). // product id
+		Col("VIEWS", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("FulfillmentStat").
+		Col("ID", schema.Int). // product id
+		Col("VIEWS", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("Address").
+		Col("ID", schema.Int).
+		Col("CUSTOMER_ID", schema.Int).
+		Col("CITY", schema.Varchar).
+		Col("PHONE", schema.Varchar).
+		PrimaryKey("ID").
+		Index("idx_addr_customer", "CUSTOMER_ID")
+	s.AddTable("PaymentInfo").
+		Col("ID", schema.Int).
+		Col("CUSTOMER_ID", schema.Int).
+		Col("ADDRESS", schema.Varchar).
+		Col("PHONE", schema.Varchar).
+		PrimaryKey("ID").
+		Index("idx_pay_customer", "CUSTOMER_ID")
+	s.AddTable("PriceAdjustment").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("AMOUNT", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_padj_order", "ORDER_ID")
+	s.AddTable("PriceDetail").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("AMOUNT", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_pdet_order", "ORDER_ID")
+	s.AddTable("ShippingAdjustment").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("AMOUNT", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_sadj_order", "ORDER_ID")
+	s.AddTable("TaxDetail").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("AMOUNT", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_tax_order", "ORDER_ID")
+	s.AddTable("FeeDetail").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("AMOUNT", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_fee_order", "ORDER_ID")
+	return s
+}
+
+// NewMapping returns the ORM metadata, including the Q4-style lazy
+// order-items collection of Fig. 1 (OrderItem ⋈ Orders ⋈ Product).
+func NewMapping() *orm.Mapping {
+	m := orm.NewMapping(Schema())
+	m.AddCollection("Orders", orm.Collection{
+		Name:        "OrdItems",
+		SQL:         `SELECT * FROM OrderItem oi JOIN Orders o ON o.ID = oi.ORDER_ID JOIN Product p ON p.ID = oi.PRODUCT_ID WHERE oi.ORDER_ID = ?`,
+		OwnerParams: []string{"ID"},
+		Target:      "oi",
+	})
+	return m
+}

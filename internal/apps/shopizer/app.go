@@ -1,0 +1,158 @@
+package shopizer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"weseer/internal/concolic"
+	"weseer/internal/minidb"
+	"weseer/internal/orm"
+)
+
+// Application-level errors.
+var (
+	ErrNoCart       = errors.New("shopizer: customer has no cart")
+	ErrEmptyCart    = errors.New("shopizer: cart is empty")
+	ErrBadUsername  = errors.New("shopizer: empty username")
+	ErrOutOfStock   = errors.New("shopizer: not enough products")
+	ErrUnknownInput = errors.New("shopizer: unknown product or customer")
+)
+
+// Fixes toggles the application-side deadlock fixes f9–f11 of Table II.
+type Fixes struct {
+	// F9 forces serial execution of the pricing/committing transactions
+	// with an application-level lock (d14–d16).
+	F9 bool
+	// F10 makes checkout's product UPDATEs follow ascending product-id
+	// order (d17).
+	F10 bool
+	// F11 makes checkout's product reads follow the same ascending order
+	// (d18).
+	F11 bool
+}
+
+// AllFixes enables every fix.
+func AllFixes() Fixes { return Fixes{F9: true, F10: true, F11: true} }
+
+// Disable returns the fix set with one fix turned off (Fig. 11 ablation).
+func (f Fixes) Disable(name string) Fixes {
+	switch name {
+	case "f9":
+		f.F9 = false
+	case "f10":
+		f.F10 = false
+	case "f11":
+		f.F11 = false
+	default:
+		panic("shopizer: unknown fix " + name)
+	}
+	return f
+}
+
+// FixNames lists the Shopizer fixes in Fig. 11 order.
+func FixNames() []string { return []string{"f9", "f10", "f11"} }
+
+// App is one deployment of the model application.
+type App struct {
+	DB      *minidb.DB
+	Mapping *orm.Mapping
+	Fixes   Fixes
+
+	// productMu is fix f9's application-level locking: one lock per
+	// product, always acquired in ascending product order and held across
+	// the whole pricing/committing transaction, so transactions touching
+	// common products execute serially while disjoint carts stay
+	// parallel.
+	productMu []sync.Mutex
+
+	NumProducts int
+}
+
+// New creates an application instance with a fresh seeded database.
+func New(fixes Fixes, cfg minidb.Config) *App {
+	if cfg.LockWaitTimeout == 0 {
+		cfg.LockWaitTimeout = 2 * time.Second
+	}
+	a := &App{
+		DB:          minidb.Open(Schema(), cfg),
+		Mapping:     NewMapping(),
+		Fixes:       fixes,
+		NumProducts: 32,
+	}
+	a.productMu = make([]sync.Mutex, a.NumProducts+1)
+	a.seed()
+	return a
+}
+
+func (a *App) seed() {
+	e := concolic.New(concolic.ModeOff)
+	s := a.session(e)
+	err := s.Transactional(func() error {
+		for i := 1; i <= a.NumProducts; i++ {
+			p := s.NewEntity("Product")
+			s.Set(p, "ID", concolic.Int(int64(i)))
+			s.Set(p, "QTY", concolic.Int(1_000_000))
+			s.Set(p, "PRICE", concolic.Int(int64(5+i)))
+			s.Set(p, "SOLD", concolic.Int(0))
+			s.Set(p, "POPULARITY", concolic.Int(0))
+			s.Persist(p)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("shopizer: seeding failed: %v", err))
+	}
+	a.DB.BumpID("Product", int64(a.NumProducts))
+}
+
+func (a *App) session(e *concolic.Engine) *orm.Session {
+	return orm.NewSession(a.Mapping, concolic.NewConn(e, a.DB))
+}
+
+// serializeProducts takes fix f9's per-product locks (in ascending order,
+// so the lock acquisition itself cannot deadlock) for the given product
+// ids; the returned func releases them.
+func (a *App) serializeProducts(ids []int64) func() {
+	if !a.Fixes.F9 {
+		return func() {}
+	}
+	sorted := append([]int64(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var locked []int64
+	for _, id := range sorted {
+		if id >= 1 && id <= int64(a.NumProducts) {
+			a.productMu[id].Lock()
+			locked = append(locked, id)
+		}
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			a.productMu[locked[i]].Unlock()
+		}
+	}
+}
+
+// cartProductIDs lists the distinct product ids of the cart's items, in
+// the requested order. Descending is Shopizer's natural iteration (most
+// recently added first) — the inconsistent-order root cause of d17/d18.
+func cartProductIDs(items []*orm.Entity, ascending bool) []int64 {
+	seen := map[int64]bool{}
+	var ids []int64
+	for _, it := range items {
+		id := it.Get("PRODUCT_ID").C.I
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ascending {
+			return ids[i] < ids[j]
+		}
+		return ids[i] > ids[j]
+	})
+	return ids
+}

@@ -1,0 +1,73 @@
+package shopizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weseer/internal/concolic"
+	"weseer/internal/workload"
+)
+
+// Flow returns the Fig. 11 client behavior: Register, Add ×3 (higher-id
+// product first so the cart's natural order is descending), Ship,
+// Checkout, then a fresh customer. Clients contend on the shared Product
+// rows behind d14–d18.
+func (a *App) Flow() workload.Flow {
+	return func(clientID int64, rng *rand.Rand) func() workload.Step {
+		var cust concolic.Value
+		var registered bool
+		var p1, p2 int64
+		seq := 0
+		return func() workload.Step {
+			phase := seq % 6
+			seq++
+			if phase != 0 && !registered {
+				// Registration never succeeded this cycle; restart with a
+				// fresh customer.
+				seq = 0
+				return func(e *concolic.Engine) (string, error) {
+					return "Skip", errNotRegistered
+				}
+			}
+			switch phase {
+			case 0:
+				return func(e *concolic.Engine) (string, error) {
+					name := fmt.Sprintf("s%d-%d", clientID, seq)
+					id, err := a.Register(e, concolic.Str(name), concolic.Str(name+"@x"))
+					registered = err == nil
+					if err == nil {
+						cust = concolic.Int(id)
+						p1 = 1 + rng.Int63n(int64(a.NumProducts))
+						p2 = 1 + rng.Int63n(int64(a.NumProducts))
+						if p1 > p2 {
+							p1, p2 = p2, p1
+						}
+					}
+					return "Register", err
+				}
+			case 1:
+				return func(e *concolic.Engine) (string, error) {
+					return "Add", a.Add(e, cust, concolic.Int(p2))
+				}
+			case 2:
+				return func(e *concolic.Engine) (string, error) {
+					return "Add", a.Add(e, cust, concolic.Int(p1))
+				}
+			case 3:
+				return func(e *concolic.Engine) (string, error) {
+					return "Add", a.Add(e, cust, concolic.Int(p1))
+				}
+			case 4:
+				return func(e *concolic.Engine) (string, error) {
+					return "Ship", a.Ship(e, cust, concolic.Str("sfo"))
+				}
+			default:
+				return func(e *concolic.Engine) (string, error) {
+					return "Checkout", a.Checkout(e, cust)
+				}
+			}
+		}
+	}
+}
+
+var errNotRegistered = fmt.Errorf("shopizer: client has no registered customer")

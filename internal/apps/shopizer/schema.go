@@ -1,0 +1,70 @@
+// Package shopizer is a model of the Shopizer e-commerce application's
+// transactional core: the Table I APIs (Register, Add ×3, Ship, Checkout
+// — Shopizer has no Payment API) with the product-row access patterns
+// behind the five Shopizer deadlocks of Table II (d14–d18) and the
+// application-side fixes f9–f11 as toggles. Every Shopizer deadlock is
+// caused by accesses to the Product table, as the paper reports.
+package shopizer
+
+import (
+	"weseer/internal/orm"
+	"weseer/internal/schema"
+)
+
+// Schema returns the model's relational schema.
+func Schema() *schema.Schema {
+	s := schema.New()
+	s.AddTable("Customer").
+		Col("ID", schema.Int).
+		Col("USERNAME", schema.Varchar).
+		Col("EMAIL", schema.Varchar).
+		PrimaryKey("ID")
+	s.AddTable("Product").
+		Col("ID", schema.Int).
+		Col("QTY", schema.Int).
+		Col("PRICE", schema.Decimal).
+		Col("SOLD", schema.Int).
+		Col("POPULARITY", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("Cart").
+		Col("ID", schema.Int).
+		Col("CUSTOMER_ID", schema.Int).
+		PrimaryKey("ID").
+		Index("idx_cart_customer", "CUSTOMER_ID")
+	s.AddTable("CartItem").
+		Col("ID", schema.Int).
+		Col("CART_ID", schema.Int).
+		Col("PRODUCT_ID", schema.Int).
+		Col("QTY", schema.Int).
+		PrimaryKey("ID").
+		Index("idx_ci_cart", "CART_ID").
+		ForeignKey([]string{"CART_ID"}, "Cart", []string{"ID"}).
+		ForeignKey([]string{"PRODUCT_ID"}, "Product", []string{"ID"})
+	s.AddTable("Orders").
+		Col("ID", schema.Int).
+		Col("CUSTOMER_ID", schema.Int).
+		Col("STATUS", schema.Varchar).
+		Col("TOTAL", schema.Decimal).
+		PrimaryKey("ID").
+		Index("idx_orders_customer", "CUSTOMER_ID")
+	s.AddTable("OrderProduct").
+		Col("ID", schema.Int).
+		Col("ORDER_ID", schema.Int).
+		Col("PRODUCT_ID", schema.Int).
+		Col("QTY", schema.Int).
+		PrimaryKey("ID").
+		Index("idx_op_order", "ORDER_ID")
+	return s
+}
+
+// NewMapping returns the ORM metadata: the cart's lazy item collection.
+func NewMapping() *orm.Mapping {
+	m := orm.NewMapping(Schema())
+	m.AddCollection("Cart", orm.Collection{
+		Name:        "Items",
+		SQL:         `SELECT * FROM CartItem ci JOIN Product p ON p.ID = ci.PRODUCT_ID WHERE ci.CART_ID = ?`,
+		OwnerParams: []string{"ID"},
+		Target:      "ci",
+	})
+	return m
+}

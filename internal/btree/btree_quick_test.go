@@ -1,0 +1,113 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the B-tree's core invariants.
+
+// TestQuickSetGetRoundTrip: every inserted key is retrievable with its
+// latest value, regardless of insertion order.
+func TestQuickSetGetRoundTrip(t *testing.T) {
+	f := func(keys []int16, values []int32) bool {
+		m := New[int, int](intCmp)
+		ref := map[int]int{}
+		for i, k := range keys {
+			v := 0
+			if i < len(values) {
+				v = int(values[i])
+			}
+			m.Set(int(k), v)
+			ref[int(k)] = v
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIterationSorted: AscendAll always yields keys in strictly
+// increasing order and visits exactly the live key set.
+func TestQuickIterationSorted(t *testing.T) {
+	f := func(ins []int16, del []int16) bool {
+		m := New[int, struct{}](intCmp)
+		ref := map[int]bool{}
+		for _, k := range ins {
+			m.Set(int(k), struct{}{})
+			ref[int(k)] = true
+		}
+		for _, k := range del {
+			m.Delete(int(k))
+			delete(ref, int(k))
+		}
+		var got []int
+		m.AscendAll(func(k int, _ struct{}) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(ref) {
+			return false
+		}
+		for i, k := range got {
+			if !ref[k] {
+				return false
+			}
+			if i > 0 && got[i-1] >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAscendFromMatchesSort: Ascend(from) equals the sorted suffix
+// of the key set.
+func TestQuickAscendFromMatchesSort(t *testing.T) {
+	f := func(keys []int16, from int16) bool {
+		m := New[int, struct{}](intCmp)
+		set := map[int]bool{}
+		for _, k := range keys {
+			m.Set(int(k), struct{}{})
+			set[int(k)] = true
+		}
+		var want []int
+		for k := range set {
+			if k >= int(from) {
+				want = append(want, k)
+			}
+		}
+		sort.Ints(want)
+		var got []int
+		m.Ascend(int(from), func(k int, _ struct{}) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func TestEmpty(t *testing.T) {
+	m := New[int, string](intCmp)
+	if m.Len() != 0 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("Get on empty")
+	}
+	if m.Delete(1) {
+		t.Error("Delete on empty")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Error("Min on empty")
+	}
+	m.AscendAll(func(int, string) bool { t.Error("visit on empty"); return true })
+}
+
+func TestSetGetDelete(t *testing.T) {
+	m := New[int, int](intCmp)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if !m.Set(i*2, i) {
+			t.Fatalf("Set(%d) not new", i*2)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Replace must not grow.
+	if m.Set(10, 999) {
+		t.Error("Set(10) reported new on replace")
+	}
+	if m.Len() != n {
+		t.Errorf("Len after replace = %d", m.Len())
+	}
+	if v, ok := m.Get(10); !ok || v != 999 {
+		t.Errorf("Get(10) = %d %v", v, ok)
+	}
+	if _, ok := m.Get(11); ok {
+		t.Error("Get(11) should miss")
+	}
+	for i := 0; i < n; i += 2 {
+		if !m.Delete(i * 2) {
+			t.Fatalf("Delete(%d) missed", i*2)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d", m.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := m.Get(i * 2)
+		want := i%2 == 1
+		if ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i*2, ok, want)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	m := New[int, int](intCmp)
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		m.Set(k, k)
+	}
+	var got []int
+	m.AscendAll(func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 500 {
+		t.Fatalf("visited %d", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("got[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	m := New[int, int](intCmp)
+	for i := 0; i < 100; i += 2 { // evens 0..98
+		m.Set(i, i)
+	}
+	var got []int
+	m.Ascend(31, func(k, _ int) bool { got = append(got, k); return k < 40 })
+	want := []int{32, 34, 36, 38, 40}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// From an existing key: inclusive.
+	got = nil
+	m.Ascend(30, func(k, _ int) bool { got = append(got, k); return false })
+	if len(got) != 1 || got[0] != 30 {
+		t.Fatalf("inclusive start: %v", got)
+	}
+	// From beyond the max: no visits.
+	got = nil
+	m.Ascend(99, func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("beyond max: %v", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	m := New[int, string](intCmp)
+	m.Set(5, "five")
+	m.Set(3, "three")
+	m.Set(9, "nine")
+	k, v, ok := m.Min()
+	if !ok || k != 3 || v != "three" {
+		t.Errorf("Min = %d %q %v", k, v, ok)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	m := New[string, int](func(a, b string) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
+	words := []string{"pear", "apple", "fig", "banana", "cherry"}
+	for i, w := range words {
+		m.Set(w, i)
+	}
+	var got []string
+	m.AscendAll(func(k string, _ int) bool { got = append(got, k); return true })
+	if !sort.StringsAreSorted(got) || len(got) != len(words) {
+		t.Errorf("iteration %v", got)
+	}
+}
+
+// TestRandomizedAgainstReference drives random operations against the
+// B-tree and a reference map, checking contents and iteration order.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New[int, int](intCmp)
+	ref := map[int]int{}
+	const keyspace = 400
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(keyspace)
+		switch rng.Intn(3) {
+		case 0: // set
+			v := rng.Int()
+			_, existed := ref[k]
+			if m.Set(k, v) != !existed {
+				t.Fatalf("op %d: Set(%d) new-flag mismatch", op, k)
+			}
+			ref[k] = v
+		case 1: // get
+			v, ok := m.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", op, k, v, ok, rv, rok)
+			}
+		case 2: // delete
+			_, existed := ref[k]
+			if m.Delete(k) != existed {
+				t.Fatalf("op %d: Delete(%d) mismatch", op, k)
+			}
+			delete(ref, k)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	// Full iteration must match the sorted reference.
+	keys := make([]int, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	i := 0
+	m.AscendAll(func(k, v int) bool {
+		if i >= len(keys) || k != keys[i] || v != ref[k] {
+			t.Fatalf("iter %d: (%d,%d), want key %d", i, k, v, keys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("visited %d of %d", i, len(keys))
+	}
+	// Range iteration from random starting points.
+	for trial := 0; trial < 50; trial++ {
+		from := rng.Intn(keyspace)
+		want := make([]int, 0)
+		for _, k := range keys {
+			if k >= from {
+				want = append(want, k)
+			}
+		}
+		got := make([]int, 0)
+		m.Ascend(from, func(k, _ int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			t.Fatalf("Ascend(%d): got %d keys, want %d", from, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Ascend(%d)[%d] = %d, want %d", from, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDescendingInsertAscendingDelete(t *testing.T) {
+	m := New[int, int](intCmp)
+	const n = 2000
+	for i := n; i > 0; i-- {
+		m.Set(i, i)
+	}
+	for i := 1; i <= n; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d %v", i, v, ok)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if !m.Delete(i) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if m.Len() != 0 || m.root != nil {
+		t.Errorf("tree not empty: len=%d", m.Len())
+	}
+}

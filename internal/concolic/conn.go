@@ -1,0 +1,276 @@
+package concolic
+
+import (
+	"fmt"
+	"sync"
+
+	"weseer/internal/minidb"
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+	"weseer/internal/trace"
+)
+
+// Conn intercepts the database driver (Sec. IV-A). The four kinds of
+// driver functions the paper instruments map onto: Begin/Commit/Rollback
+// (transaction life cycle), the statement cache (statement preparation),
+// Exec (submission, which records templates and symbolic parameters), and
+// Rows.Get (result retrieval, which hands out symbolic aliases for the
+// fetched database state). Driver internals contribute no path conditions
+// under pruning — their work is represented by LibraryCall accounting.
+type Conn struct {
+	e   *Engine
+	db  *minidb.DB
+	txn *minidb.Txn
+	cur *trace.Txn
+}
+
+// NewConn wraps a database for one engine session.
+func NewConn(e *Engine, db *minidb.DB) *Conn {
+	return &Conn{e: e, db: db}
+}
+
+// DB returns the underlying database.
+func (c *Conn) DB() *minidb.DB { return c.db }
+
+// Engine returns the engine this connection records into.
+func (c *Conn) Engine() *Engine { return c.e }
+
+// InTxn reports whether a transaction is open.
+func (c *Conn) InTxn() bool { return c.txn != nil }
+
+// Begin starts a database transaction and records its life cycle.
+func (c *Conn) Begin() error {
+	if c.txn != nil {
+		return fmt.Errorf("concolic: transaction already open")
+	}
+	c.txn = c.db.Begin()
+	if c.e.recording() {
+		c.e.txnSeq++
+		c.cur = &trace.Txn{ID: c.e.txnSeq}
+		c.e.tr.Txns = append(c.e.tr.Txns, c.cur)
+	}
+	return nil
+}
+
+// Commit commits the open transaction.
+func (c *Conn) Commit() error {
+	if c.txn == nil {
+		return fmt.Errorf("concolic: no open transaction")
+	}
+	err := c.txn.Commit()
+	if c.cur != nil {
+		c.cur.Committed = err == nil
+		c.cur = nil
+	}
+	c.txn = nil
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (c *Conn) Rollback() error {
+	if c.txn == nil {
+		return fmt.Errorf("concolic: no open transaction")
+	}
+	err := c.txn.Rollback()
+	c.cur = nil
+	c.txn = nil
+	return err
+}
+
+// Aborted reports whether the open transaction was aborted by the engine
+// (deadlock victim or lock timeout).
+func (c *Conn) Aborted() bool {
+	return c.txn != nil && c.txn.State() == minidb.TxnAborted
+}
+
+// stmtCache memoizes template parsing — the "statement preparation"
+// driver functions of Sec. IV-A. Shared across connections.
+var stmtCache sync.Map // sql string → sqlast.Stmt
+
+func prepare(sql string) (sqlast.Stmt, error) {
+	if st, ok := stmtCache.Load(sql); ok {
+		return st.(sqlast.Stmt), nil
+	}
+	st, err := sqlast.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	stmtCache.Store(sql, st)
+	return st, nil
+}
+
+// Rows is a fetched result set whose cells carry symbolic aliases.
+type Rows struct {
+	Cols  []string
+	Cells [][]Value
+}
+
+// Empty reports a zero-row result.
+func (r *Rows) Empty() bool { return len(r.Cells) == 0 }
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.Cells) }
+
+// Get returns the cell at (row, "alias.column").
+func (r *Rows) Get(row int, col string) Value {
+	for i, c := range r.Cols {
+		if c == col {
+			return r.Cells[row][i]
+		}
+	}
+	panic(fmt.Sprintf("concolic: no column %q in result (%v)", col, r.Cols))
+}
+
+// Exec submits one statement template with concolic parameter values.
+// trigger is the application code responsible for the statement per the
+// Sec. VI ORM-aware mapping; pass a zero CodeLoc to use the call site.
+// Outside an open transaction the statement runs in auto-commit mode
+// (its own single-statement transaction), as JDBC connections do.
+func (c *Conn) Exec(sql string, params []Value, trigger trace.CodeLoc) (*Rows, error) {
+	if c.txn == nil {
+		if err := c.Begin(); err != nil {
+			return nil, err
+		}
+		rows, err := c.Exec(sql, params, trigger)
+		if err != nil {
+			c.Rollback()
+			return nil, err
+		}
+		if err := c.Commit(); err != nil {
+			return nil, err
+		}
+		return rows, nil
+	}
+	st, err := prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	datums := make([]minidb.Datum, len(params))
+	for i, p := range params {
+		datums[i] = datumOf(p)
+	}
+	rs, err := c.txn.Exec(st, datums)
+	if err != nil {
+		return nil, err
+	}
+	// Driver internals — statement preparation, wire protocol, result
+	// parsing — are ignored for concolic execution (Sec. IV-A); their
+	// avoided branch count scales with statement and result size.
+	c.e.AccountLibrary("driver.exec", 420+len(sql)*3+len(rs.Rows)*160)
+
+	var rows *Rows
+	seq := c.e.stmtSeq
+	if rs.Cols != nil {
+		rows = &Rows{Cols: rs.Cols}
+		for ri, row := range rs.Rows {
+			cells := make([]Value, len(row))
+			for ci, d := range row {
+				v := valueOf(d)
+				if c.e.concolic() && !d.Null {
+					// Symbolic alias for fetched database state, e.g.
+					// "res4.row0.p.ID" (Fig. 3).
+					v.S = smt.NewVar(fmt.Sprintf("res%d.row%d.%s", seq, ri, rs.Cols[ci]), v.C.S)
+				}
+				cells[ci] = v
+			}
+			rows.Cells = append(rows.Cells, cells)
+		}
+	}
+
+	if c.e.recording() && c.cur != nil {
+		if len(trigger.Frames) == 0 {
+			trigger = Here(2)
+		}
+		rec := &trace.Stmt{
+			Seq:     seq,
+			TxnID:   c.cur.ID,
+			SQL:     sql,
+			Parsed:  st,
+			Trigger: trigger,
+			Sent:    Here(2),
+		}
+		// Record the engine's concrete execution plan (Sec. V-D future
+		// work): the analyzer can then model locks on exactly the indexes
+		// execution traverses.
+		for _, p := range c.db.Explain(st) {
+			rec.Plan = append(rec.Plan, trace.PlanStep{Alias: p.Alias, Table: p.Table, Index: p.Index})
+		}
+		for i, p := range params {
+			var sym smt.Expr
+			if c.e.concolic() {
+				sym = p.Sym()
+			}
+			rec.Params = append(rec.Params, trace.Param{Sym: sym, Concrete: datums[i]})
+		}
+		if rows != nil {
+			res := &trace.Result{Cols: rows.Cols, Empty: rows.Empty()}
+			for _, cells := range rows.Cells {
+				var syms []smt.Var
+				var concs []minidb.Datum
+				for _, v := range cells {
+					if sv, ok := v.S.(smt.Var); ok {
+						syms = append(syms, sv)
+					} else {
+						syms = append(syms, smt.Var{}) // NULL cell: no alias
+					}
+					concs = append(concs, datumOf(v))
+				}
+				res.Sym = append(res.Sym, syms)
+				res.Concrete = append(res.Concrete, concs)
+			}
+			rec.Res = res
+		}
+		c.cur.Stmts = append(c.cur.Stmts, rec)
+		c.e.tr.Stats.Statements++
+		c.e.stmtSeq++
+	} else {
+		c.e.stmtSeq++
+	}
+	return rows, nil
+}
+
+// datumOf converts a concolic value to a database datum.
+func datumOf(v Value) minidb.Datum {
+	if v.Null {
+		switch v.C.S {
+		case smt.SortReal:
+			return minidb.NullDatum(minidb.KReal)
+		case smt.SortString:
+			return minidb.NullDatum(minidb.KStr)
+		default:
+			return minidb.NullDatum(minidb.KInt)
+		}
+	}
+	switch v.C.S {
+	case smt.SortInt:
+		return minidb.I64(v.C.I)
+	case smt.SortReal:
+		return minidb.Real(v.C.R)
+	case smt.SortString:
+		return minidb.Str(v.C.Str)
+	}
+	panic(fmt.Sprintf("concolic: cannot convert %s to datum", v))
+}
+
+// valueOf converts a database datum to a concolic value.
+func valueOf(d minidb.Datum) Value {
+	if d.Null {
+		switch d.Kind {
+		case minidb.KReal:
+			return NullValue(smt.SortReal)
+		case minidb.KStr:
+			return NullValue(smt.SortString)
+		default:
+			return NullValue(smt.SortInt)
+		}
+	}
+	switch d.Kind {
+	case minidb.KInt:
+		return Int(d.I)
+	case minidb.KReal:
+		return Real(d.R)
+	case minidb.KStr:
+		return Str(d.S)
+	}
+	panic("concolic: bad datum kind")
+}

@@ -1,0 +1,408 @@
+// Package core implements WeSEER's deadlock analyzer — the paper's
+// primary contribution (Sec. V): the SC-graph over collected transaction
+// traces, and the three-phase diagnosis that funnels candidate deadlocks
+// through progressively more precise (and more expensive) filters:
+//
+//  1. Transaction-level: only transaction pairs whose table read/write
+//     signatures can form a conflict cycle survive.
+//  2. Coarse-grained: SC-graph deadlock cycles with table-level C-edges,
+//     as STEPDAD/REDACT build them — the baseline that reports 18,384
+//     cycles on the paper's workload.
+//  3. Fine-grained: per-cycle conflict conditions from row/range-lock
+//     modeling (Alg. 2/3), conjoined with the traces' path conditions and
+//     discharged by the SMT solver; only SAT cycles are reported, with a
+//     satisfying assignment of API inputs and database state.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"weseer/internal/lockmodel"
+	"weseer/internal/schema"
+	"weseer/internal/smt"
+	"weseer/internal/solver"
+	"weseer/internal/trace"
+)
+
+// Options configure an analysis run.
+type Options struct {
+	// CoarseOnly stops after phase 2 and reports raw coarse cycles — the
+	// STEPDAD/REDACT baseline mode (Sec. VII-B).
+	CoarseOnly bool
+	// SkipPhase1 disables the transaction-level filter (ablation).
+	SkipPhase1 bool
+	// SkipLockFilter disables the quick lock-collision test before SMT
+	// solving (ablation: every coarse cycle goes to the solver).
+	SkipLockFilter bool
+	// UseConcretePlans restricts lock modeling to each statement's
+	// recorded execution plan instead of every possible index — the
+	// paper's Sec. V-D future-work refinement, removing the
+	// all-join-orders source of false positives.
+	UseConcretePlans bool
+	// Solver bounds each satisfiability check.
+	Solver solver.Limits
+	// MaxCyclesPerPair caps coarse-cycle enumeration per transaction pair
+	// (0 = unlimited).
+	MaxCyclesPerPair int
+}
+
+// Analyzer runs deadlock diagnosis over collected traces.
+type Analyzer struct {
+	scm  *schema.Schema
+	opts Options
+}
+
+// New returns an analyzer for a schema.
+func New(scm *schema.Schema, opts Options) *Analyzer {
+	return &Analyzer{scm: scm, opts: opts}
+}
+
+// instance is one renamed transaction instance.
+type instance struct {
+	API    string
+	Prefix string
+	Txn    *trace.Txn
+	Trace  *trace.Trace // renamed trace, for path conditions
+}
+
+// Cycle is one SC-graph deadlock cycle across two transaction instances:
+// T1 holds the lock acquired at S1a and waits at S1b; T2 holds at S2a and
+// waits at S2b; C-edges connect (S1b, S2a) and (S2b, S1a).
+type Cycle struct {
+	T1, T2             *instance
+	S1a, S1b, S2a, S2b *trace.Stmt
+	Table1, Table2     string // conflict tables of the two C-edges
+}
+
+// Deadlock is one confirmed (or, in coarse-only mode, potential)
+// deadlock.
+type Deadlock struct {
+	// Key canonically identifies the deadlock across duplicate cycles.
+	Key string
+	// APIs names the two involved API traces.
+	APIs [2]string
+	// Cycle is a representative deadlock cycle.
+	Cycle Cycle
+	// Formula is the solved conjunction (fine phase only).
+	Formula smt.Expr
+	// Model is the satisfying assignment: API inputs and database state
+	// that reproduce the deadlock.
+	Model *smt.Model
+	// Count is the number of coarse cycles folded into this report.
+	Count int
+}
+
+// Stats counts work per phase.
+type Stats struct {
+	Traces           int
+	Pairs            int // transaction instance pairs considered
+	PairsAfterPhase1 int // pairs surviving the transaction-level filter
+	CoarseCycles     int // SC-graph deadlock cycles found in phase 2
+	LockFiltered     int // cycles discarded by the lock-collision test
+	GroupsSolved     int // deduplicated cycle groups sent to the solver
+	SolverSAT        int
+	SolverUNSAT      int
+	SolverUnknown    int
+	SolverTime       time.Duration
+}
+
+// Result is the outcome of Analyze.
+type Result struct {
+	Deadlocks []*Deadlock
+	Stats     Stats
+}
+
+// Analyze runs the three-phase diagnosis over the traces. Each trace
+// contributes two renamed instances ("A1.", "A2."), and every cross-
+// instance transaction pair — including pairs drawn from two different
+// APIs' traces — is examined, matching the paper's setup.
+func (a *Analyzer) Analyze(traces []*trace.Trace) *Result {
+	res := &Result{}
+	res.Stats.Traces = len(traces)
+
+	// Pre-rename each trace once per role.
+	inst1 := make([]*trace.Trace, len(traces))
+	inst2 := make([]*trace.Trace, len(traces))
+	for i, tr := range traces {
+		inst1[i] = tr.Rename("A1.")
+		inst2[i] = tr.Rename("A2.")
+	}
+
+	groups := map[string]*Deadlock{}
+	var order []string
+
+	for i := range traces {
+		for j := i; j < len(traces); j++ {
+			for _, t1 := range inst1[i].Txns {
+				for _, t2 := range inst2[j].Txns {
+					p1 := &instance{API: traces[i].API, Prefix: "A1.", Txn: t1, Trace: inst1[i]}
+					p2 := &instance{API: traces[j].API, Prefix: "A2.", Txn: t2, Trace: inst2[j]}
+					res.Stats.Pairs++
+					if !a.opts.SkipPhase1 && !txnLevelConflict(t1, t2) {
+						continue
+					}
+					res.Stats.PairsAfterPhase1++
+					a.analyzePair(p1, p2, res, groups, &order)
+				}
+			}
+		}
+	}
+
+	for _, k := range order {
+		res.Deadlocks = append(res.Deadlocks, groups[k])
+	}
+	sort.SliceStable(res.Deadlocks, func(x, y int) bool {
+		return res.Deadlocks[x].Key < res.Deadlocks[y].Key
+	})
+	return res
+}
+
+// txnLevelConflict is phase 1: the pair can form a transaction conflict
+// cycle iff each transaction writes a table the other accesses.
+func txnLevelConflict(t1, t2 *trace.Txn) bool {
+	acc1, wr1 := t1.Tables()
+	acc2, wr2 := t2.Tables()
+	oneWay := false
+	for t := range wr1 {
+		if acc2[t] {
+			oneWay = true
+			break
+		}
+	}
+	if !oneWay {
+		return false
+	}
+	for t := range wr2 {
+		if acc1[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// coarseConflictTable is the coarse-grained C-edge test: a common table
+// at least one statement writes. It returns the table ("" if none).
+func coarseConflictTable(s, t *trace.Stmt) string {
+	for _, ts := range s.Parsed.Tables() {
+		for _, tt := range t.Parsed.Tables() {
+			if ts != tt {
+				continue
+			}
+			if s.Parsed.WriteTable() == ts || t.Parsed.WriteTable() == ts {
+				return ts
+			}
+		}
+	}
+	return ""
+}
+
+// analyzePair runs phases 2 and 3 for one transaction-instance pair.
+func (a *Analyzer) analyzePair(p1, p2 *instance, res *Result, groups map[string]*Deadlock, order *[]string) {
+	s1, s2 := p1.Txn.Stmts, p2.Txn.Stmts
+
+	// Phase 2: coarse C-edges, then deadlock cycles. A cycle needs T1 to
+	// hold a lock from an earlier statement while waiting at a later one
+	// (and symmetrically for T2): S1a < S1b and S2a < S2b in execution
+	// order, with C-edges (S1b, S2a) and (S2b, S1a).
+	type cedge struct{ i, j int }
+	edgeTable := map[cedge]string{}
+	var edges []cedge
+	for i := range s1 {
+		for j := range s2 {
+			if tab := coarseConflictTable(s1[i], s2[j]); tab != "" {
+				edgeTable[cedge{i, j}] = tab
+				edges = append(edges, cedge{i, j})
+			}
+		}
+	}
+	count := 0
+	for _, e1 := range edges {
+		for _, e2 := range edges {
+			// e1 = (S1b, S2a), e2 = (S1a, S2b).
+			i1b, i2a := e1.i, e1.j
+			i1a, i2b := e2.i, e2.j
+			if !(i1a < i1b && i2a < i2b) {
+				continue
+			}
+			if a.opts.MaxCyclesPerPair > 0 && count >= a.opts.MaxCyclesPerPair {
+				return
+			}
+			count++
+			res.Stats.CoarseCycles++
+			cyc := Cycle{
+				T1: p1, T2: p2,
+				S1a: s1[i1a], S1b: s1[i1b],
+				S2a: s2[i2a], S2b: s2[i2b],
+				Table1: edgeTable[e1], Table2: edgeTable[cedge{i1a, i2b}],
+			}
+			a.fineCheck(cyc, res, groups, order)
+		}
+	}
+}
+
+// fineCheck is phase 3 for one coarse cycle: quick lock-collision filter,
+// group deduplication, then SMT solving of conflict + path conditions.
+func (a *Analyzer) fineCheck(cyc Cycle, res *Result, groups map[string]*Deadlock, order *[]string) {
+	key := cyc.dedupKey()
+	if d, ok := groups[key]; ok {
+		d.Count++
+		return
+	}
+	if a.opts.CoarseOnly {
+		d := &Deadlock{Key: key, APIs: [2]string{cyc.T1.API, cyc.T2.API}, Cycle: cyc, Count: 1}
+		groups[key] = d
+		*order = append(*order, key)
+		return
+	}
+
+	// Quick filter: each C-edge needs a modeled lock collision.
+	if !a.opts.SkipLockFilter {
+		if !lockmodel.PotentialConflict(cyc.S1b, cyc.S2a, a.scm, a.opts.UseConcretePlans) ||
+			!lockmodel.PotentialConflict(cyc.S2b, cyc.S1a, a.scm, a.opts.UseConcretePlans) {
+			res.Stats.LockFiltered++
+			return
+		}
+	}
+
+	formula := a.cycleFormula(cyc)
+	res.Stats.GroupsSolved++
+	start := time.Now()
+	sres := solver.SolveLimits(formula, a.opts.Solver)
+	res.Stats.SolverTime += time.Since(start)
+	switch sres.Status {
+	case solver.SAT:
+		res.Stats.SolverSAT++
+		d := &Deadlock{
+			Key:     key,
+			APIs:    [2]string{cyc.T1.API, cyc.T2.API},
+			Cycle:   cyc,
+			Formula: formula,
+			Model:   sres.Model,
+			Count:   1,
+		}
+		groups[key] = d
+		*order = append(*order, key)
+	case solver.UNSAT:
+		res.Stats.SolverUNSAT++
+	default:
+		// Timeouts are treated as "no deadlock reported" (Sec. III-B).
+		res.Stats.SolverUnknown++
+	}
+}
+
+// cycleFormula conjoins both C-edges' conflict conditions with the path
+// conditions recorded before each transaction's last involved statement
+// (Sec. V-B, fine-grained phase; the worked example is Fig. 9).
+//
+// Path conditions sharing no variables (transitively) with the conflict
+// conditions are dropped: the concrete execution that produced the trace
+// satisfies them by construction, so they cannot change satisfiability —
+// a cone-of-influence reduction that keeps solver formulas small.
+func (a *Analyzer) cycleFormula(cyc Cycle) smt.Expr {
+	nm := lockmodel.NewNamer("rng.")
+	edge1 := edgeCond(cyc.S1b, cyc.S2a, a.scm, "r1.", nm, a.opts.UseConcretePlans)
+	edge2 := edgeCond(cyc.S2b, cyc.S1a, a.scm, "r2.", nm, a.opts.UseConcretePlans)
+
+	last1 := maxSeq(cyc.S1a, cyc.S1b)
+	last2 := maxSeq(cyc.S2a, cyc.S2b)
+	var pcs []smt.Expr
+	pcs = append(pcs, cyc.T1.Trace.PathCondsBefore(last1)...)
+	pcs = append(pcs, cyc.T2.Trace.PathCondsBefore(last2)...)
+	parts := []smt.Expr{edge1, edge2}
+	parts = append(parts, coneOfInfluence(smt.VarSet(edge1, edge2), pcs)...)
+	return smt.And(parts...)
+}
+
+// coneOfInfluence keeps the conditions transitively connected to the seed
+// variable set.
+func coneOfInfluence(seed map[string]smt.Sort, conds []smt.Expr) []smt.Expr {
+	type entry struct {
+		cond smt.Expr
+		vars map[string]smt.Sort
+		in   bool
+	}
+	entries := make([]entry, len(conds))
+	for i, c := range conds {
+		entries[i] = entry{cond: c, vars: smt.VarSet(c)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range entries {
+			if entries[i].in {
+				continue
+			}
+			touch := false
+			for v := range entries[i].vars {
+				if _, ok := seed[v]; ok {
+					touch = true
+					break
+				}
+			}
+			if !touch {
+				continue
+			}
+			entries[i].in = true
+			changed = true
+			for v, s := range entries[i].vars {
+				seed[v] = s
+			}
+		}
+	}
+	var out []smt.Expr
+	for _, e := range entries {
+		if e.in {
+			out = append(out, e.cond)
+		}
+	}
+	return out
+}
+
+// edgeCond builds the conflict condition of one C-edge, trying both
+// writer orientations and disjoining the satisfiable directions.
+func edgeCond(x, y *trace.Stmt, scm *schema.Schema, rowPrefix string, nm *lockmodel.Namer, usePlans bool) smt.Expr {
+	var alts []smt.Expr
+	for _, o := range [2][2]*trace.Stmt{{x, y}, {y, x}} {
+		w, r := o[0], o[1]
+		wt := w.Parsed.WriteTable()
+		if wt == "" {
+			continue
+		}
+		accessed := false
+		for _, t := range r.Parsed.Tables() {
+			if t == wt {
+				accessed = true
+				break
+			}
+		}
+		if !accessed {
+			continue
+		}
+		alts = append(alts, lockmodel.GenConflictCond(w, r, scm, wt, rowPrefix, nm, usePlans))
+	}
+	return smt.Or(alts...)
+}
+
+func maxSeq(a, b *trace.Stmt) int {
+	if a.Seq > b.Seq {
+		return a.Seq
+	}
+	return b.Seq
+}
+
+// dedupKey canonicalizes a cycle so equivalent cycles (including the
+// mirror pairing) fold into one reported deadlock.
+func (c Cycle) dedupKey() string {
+	k1 := fmt.Sprintf("%s|%s>%s|%s>%s", c.T1.API, stmtKey(c.S1a), stmtKey(c.S1b), c.Table2, c.Table1)
+	k2 := fmt.Sprintf("%s|%s>%s|%s>%s", c.T2.API, stmtKey(c.S2a), stmtKey(c.S2b), c.Table1, c.Table2)
+	if k2 < k1 {
+		k1, k2 = k2, k1
+	}
+	return k1 + "||" + k2
+}
+
+func stmtKey(s *trace.Stmt) string {
+	top := s.Trigger.Top()
+	return fmt.Sprintf("%s@%s:%d", s.SQL, top.File, top.Line)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weseer/internal/smt"
+	"weseer/internal/trace"
+)
+
+// Report rendering: for each confirmed deadlock WeSEER reports the
+// involved APIs, the satisfying assignment of API inputs and database
+// state (usable to reproduce the deadlock), the SQL statements forming
+// the hold-and-wait cycle, and each statement's triggering code location
+// (Fig. 2's output box).
+
+// Render formats the analysis result for developers.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WeSEER deadlock report: %d potential deadlock(s)\n", len(r.Deadlocks))
+	fmt.Fprintf(&b, "%s\n", r.Stats.Render())
+	for i, d := range r.Deadlocks {
+		fmt.Fprintf(&b, "\n=== Deadlock %d ===\n%s", i+1, d.Render())
+	}
+	return b.String()
+}
+
+// Render formats the per-phase statistics.
+func (s Stats) Render() string {
+	return fmt.Sprintf(
+		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved (SAT %d / UNSAT %d / UNKNOWN %d) in %v",
+		s.Traces, s.Pairs, s.PairsAfterPhase1, s.CoarseCycles,
+		s.LockFiltered, s.GroupsSolved, s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000))
+}
+
+// Render formats one deadlock.
+func (d *Deadlock) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "APIs: %s -- %s (%d coarse cycle(s) folded)\n", d.APIs[0], d.APIs[1], d.Count)
+	c := d.Cycle
+	fmt.Fprintf(&b, "hold-and-wait cycle over tables [%s, %s]:\n", c.Table1, c.Table2)
+	renderSide(&b, "T1", d.APIs[0], c.S1a, c.S1b)
+	renderSide(&b, "T2", d.APIs[1], c.S2a, c.S2b)
+	if d.Model != nil {
+		fmt.Fprintf(&b, "reproducing assignment (API inputs and DB state):\n")
+		renderModel(&b, d.Model, c)
+	}
+	return b.String()
+}
+
+func renderSide(b *strings.Builder, name, api string, holds, waits *trace.Stmt) {
+	fmt.Fprintf(b, "  %s (%s):\n", name, api)
+	fmt.Fprintf(b, "    holds lock from stmt #%d: %s\n", holds.Seq, holds.SQL)
+	fmt.Fprintf(b, "      triggered at: %s\n", holds.Trigger.Top())
+	fmt.Fprintf(b, "    waits at stmt #%d: %s\n", waits.Seq, waits.SQL)
+	fmt.Fprintf(b, "      triggered at: %s\n", waits.Trigger.Top())
+	if holds.Trigger.Top() != holds.Sent.Top() && holds.Sent.Top().File != "" {
+		fmt.Fprintf(b, "      (stmt #%d was sent at %s — write-behind flush)\n", holds.Seq, holds.Sent.Top())
+	}
+}
+
+// renderModel prints the model restricted to meaningful variables: the
+// two traces' API inputs and result aliases, skipping internal range-
+// enlargement variables.
+func renderModel(b *strings.Builder, m *smt.Model, c Cycle) {
+	inputs := map[string]bool{}
+	for _, tr := range []*trace.Trace{c.T1.Trace, c.T2.Trace} {
+		for _, in := range tr.Inputs {
+			inputs[in.Name] = true
+		}
+	}
+	names := make([]string, 0, len(m.Vars))
+	for n := range m.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		switch {
+		case inputs[n]:
+			fmt.Fprintf(b, "    input  %s = %s\n", n, m.Vars[n])
+		case strings.Contains(n, ".res"):
+			fmt.Fprintf(b, "    dbrow  %s = %s\n", n, m.Vars[n])
+		}
+	}
+}

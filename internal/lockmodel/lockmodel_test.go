@@ -1,0 +1,353 @@
+package lockmodel
+
+import (
+	"testing"
+
+	"weseer/internal/minidb"
+	"weseer/internal/schema"
+	"weseer/internal/smt"
+	"weseer/internal/solver"
+	"weseer/internal/sqlast"
+	"weseer/internal/trace"
+)
+
+// fig1Schema is the paper's running example schema.
+func fig1Schema() *schema.Schema {
+	s := schema.New()
+	s.AddTable("Orders").
+		Col("ID", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("Product").
+		Col("ID", schema.Int).
+		Col("QTY", schema.Int).
+		PrimaryKey("ID")
+	s.AddTable("OrderItem").
+		Col("ID", schema.Int).
+		Col("O_ID", schema.Int).
+		Col("P_ID", schema.Int).
+		Col("QTY", schema.Int).
+		PrimaryKey("ID").
+		Index("idx_oi_o", "O_ID").
+		Index("idx_oi_p", "P_ID")
+	return s
+}
+
+const q4 = `SELECT * FROM OrderItem oi JOIN Orders o ON o.ID = oi.O_ID JOIN Product p ON p.ID = oi.P_ID WHERE oi.O_ID = ?`
+const q6 = `UPDATE Product SET QTY = ? WHERE ID = ?`
+
+func useSet(uses []IndexUse) map[string]bool {
+	out := map[string]bool{}
+	for _, u := range uses {
+		name := "SCAN"
+		if u.Index != nil {
+			name = u.Index.Name
+		}
+		out[u.Alias+"/"+name] = true
+	}
+	return out
+}
+
+// TestInferQ4 reproduces Fig. 8: the possible indexes for Q4 are
+// OrderItem's O_ID secondary (fed by the parameter) and the Orders and
+// Product primary indexes (fed by OrderItem data) — but never OrderItem's
+// P_ID secondary, which would require scanning Product first.
+func TestInferQ4(t *testing.T) {
+	scm := fig1Schema()
+	uses := InferPossibleIndexes(sqlast.MustParse(q4), scm)
+	got := useSet(uses)
+	for _, want := range []string{"oi/idx_oi_o", "o/PRIMARY", "p/PRIMARY"} {
+		if !got[want] {
+			t.Errorf("missing expected index use %s (got %v)", want, got)
+		}
+	}
+	if got["oi/idx_oi_p"] {
+		t.Errorf("idx_oi_p must not be used (needs Product scanned first): %v", got)
+	}
+	if got["oi/SCAN"] || got["o/SCAN"] || got["p/SCAN"] {
+		t.Errorf("no full scans expected: %v", got)
+	}
+}
+
+func TestInferPointUpdate(t *testing.T) {
+	scm := fig1Schema()
+	uses := InferPossibleIndexes(sqlast.MustParse(q6), scm)
+	if len(uses) != 1 || uses[0].Index == nil || uses[0].Index.Type != schema.Primary {
+		t.Fatalf("uses = %+v", uses)
+	}
+	if len(uses[0].Preds) != 1 {
+		t.Errorf("preds = %v", uses[0].Preds)
+	}
+}
+
+func TestInferNoIndexFullScan(t *testing.T) {
+	scm := fig1Schema()
+	uses := InferPossibleIndexes(sqlast.MustParse(`SELECT * FROM Product p WHERE p.QTY > ?`), scm)
+	if len(uses) != 1 || uses[0].Index != nil {
+		t.Fatalf("uses = %+v", uses)
+	}
+}
+
+func TestInferInsertAsKeyEquations(t *testing.T) {
+	scm := fig1Schema()
+	uses := InferPossibleIndexes(sqlast.MustParse(`INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)`), scm)
+	got := useSet(uses)
+	// The inserted row's column equations make every index reachable.
+	for _, want := range []string{"OrderItem/PRIMARY", "OrderItem/idx_oi_o", "OrderItem/idx_oi_p"} {
+		if !got[want] {
+			t.Errorf("missing %s in %v", want, got)
+		}
+	}
+}
+
+func TestGenSharedLocksPointQuery(t *testing.T) {
+	scm := fig1Schema()
+	st := sqlast.MustParse(`SELECT * FROM Product p WHERE p.ID = ?`)
+	locks := GenSharedLocks(st, scm, "Product", false)
+	if len(locks) != 1 {
+		t.Fatalf("locks = %v", locks)
+	}
+	l := locks[0]
+	if l.Gran != Row || l.Exclusive || l.Index.Type != schema.Primary {
+		t.Errorf("lock = %v", l)
+	}
+}
+
+func TestGenSharedLocksEmptyResult(t *testing.T) {
+	// An empty result acquires RANGE locks to protect the empty read set
+	// — the locks behind deadlock d1.
+	scm := fig1Schema()
+	st := sqlast.MustParse(`SELECT * FROM Product p WHERE p.ID = ?`)
+	locks := GenSharedLocks(st, scm, "Product", true)
+	if len(locks) != 1 || locks[0].Gran != Range {
+		t.Fatalf("locks = %v", locks)
+	}
+	if len(locks[0].Preds) == 0 {
+		t.Error("range lock lost its predicates")
+	}
+}
+
+func TestGenSharedLocksSecondaryIndex(t *testing.T) {
+	scm := fig1Schema()
+	st := sqlast.MustParse(`SELECT * FROM OrderItem oi WHERE oi.O_ID = ?`)
+	locks := GenSharedLocks(st, scm, "OrderItem", false)
+	// Non-unique secondary: RANGE on the secondary plus ROW on the primary.
+	var sawRange, sawPrimaryRow bool
+	for _, l := range locks {
+		if l.Gran == Range && l.Index.Name == "idx_oi_o" {
+			sawRange = true
+		}
+		if l.Gran == Row && l.Index.Type == schema.Primary {
+			sawPrimaryRow = true
+		}
+	}
+	if !sawRange || !sawPrimaryRow {
+		t.Errorf("locks = %v", locks)
+	}
+}
+
+func TestGenSharedLocksTableFallback(t *testing.T) {
+	scm := fig1Schema()
+	st := sqlast.MustParse(`SELECT * FROM Product p WHERE p.QTY > ?`)
+	locks := GenSharedLocks(st, scm, "Product", false)
+	if len(locks) != 1 || locks[0].Gran != TableLock {
+		t.Fatalf("locks = %v", locks)
+	}
+}
+
+func TestGenExclusiveLocks(t *testing.T) {
+	scm := fig1Schema()
+	locks := GenExclusiveLocks(sqlast.MustParse(q6), scm, "Product")
+	if len(locks) != 1 || !locks[0].Exclusive || locks[0].Gran != Row {
+		t.Fatalf("locks = %v", locks)
+	}
+	// Updating an indexed column adds a range lock on its secondary index.
+	locks = GenExclusiveLocks(sqlast.MustParse(`UPDATE OrderItem SET O_ID = ? WHERE ID = ?`), scm, "OrderItem")
+	var sawSecRange bool
+	for _, l := range locks {
+		if l.Exclusive && l.Gran == Range && l.Index != nil && l.Index.Name == "idx_oi_o" {
+			sawSecRange = true
+		}
+	}
+	if !sawSecRange {
+		t.Errorf("locks = %v", locks)
+	}
+	// INSERT writes every index.
+	locks = GenExclusiveLocks(sqlast.MustParse(`INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)`), scm, "OrderItem")
+	if len(locks) != 3 {
+		t.Errorf("insert locks = %v", locks)
+	}
+}
+
+func TestConflicting(t *testing.T) {
+	scm := fig1Schema()
+	sel := sqlast.MustParse(`SELECT * FROM Product p WHERE p.ID = ?`)
+	upd := sqlast.MustParse(q6)
+	shared := GenSharedLocks(sel, scm, "Product", false)
+	excl := GenExclusiveLocks(upd, scm, "Product")
+	if !Conflicting(shared, excl) {
+		t.Error("S row vs X row on the same index must conflict")
+	}
+	if Conflicting(shared, shared) {
+		t.Error("S vs S must not conflict")
+	}
+}
+
+func TestPotentialConflictIndexDisjoint(t *testing.T) {
+	// Statements touching the same table on different, non-overlapping
+	// indexes where the writer doesn't touch the reader's index: the
+	// fine-grained model keeps the table-level edge out.
+	scm := fig1Schema()
+	selByO := sqlast.MustParse(`SELECT * FROM OrderItem oi WHERE oi.O_ID = ?`)
+	updQty := sqlast.MustParse(`UPDATE OrderItem SET QTY = ? WHERE ID = ?`)
+	// The reader locks idx_oi_o (range) + primary rows; the writer locks
+	// primary rows (QTY is unindexed). They share the primary index, so a
+	// conflict IS possible.
+	selStmt := mkStmt(`SELECT * FROM OrderItem oi WHERE oi.O_ID = ?`, []smt.Expr{smt.NewVar("x", smt.SortInt)}, nil)
+	updStmt := mkStmt(`UPDATE OrderItem SET QTY = ? WHERE ID = ?`,
+		[]smt.Expr{smt.NewVar("q", smt.SortInt), smt.NewVar("id", smt.SortInt)}, nil)
+	_ = selByO
+	_ = updQty
+	if !PotentialConflict(selStmt, updStmt, scm, false) {
+		t.Error("primary-row overlap must be a potential conflict")
+	}
+	// Two SELECTs never conflict.
+	if PotentialConflict(selStmt, selStmt, scm, false) {
+		t.Error("read-read flagged")
+	}
+}
+
+// mkStmt builds a trace.Stmt for conflict-condition tests.
+func mkStmt(sql string, syms []smt.Expr, res *trace.Result) *trace.Stmt {
+	st := &trace.Stmt{SQL: sql, Parsed: sqlast.MustParse(sql)}
+	for i, s := range syms {
+		st.Params = append(st.Params, trace.Param{Sym: s, Concrete: minidb.I64(int64(i))})
+	}
+	st.Res = res
+	return st
+}
+
+// TestConflictCondFig9 mirrors the paper's end-to-end example: the
+// C-edge between A1.Q4 (SELECT with one fetched row) and A2.Q6 (UPDATE of
+// Product). The condition must force A2's updated product ID to equal the
+// product ID fetched by A1.
+func TestConflictCondFig9(t *testing.T) {
+	scm := fig1Schema()
+	a1Order := smt.NewVar("A1.order_id", smt.SortInt)
+	a2PID := smt.NewVar("A2.res4.row0.p.ID", smt.SortInt)
+	a2QTY := smt.NewVar("A2.qty", smt.SortInt)
+
+	read := mkStmt(q4, []smt.Expr{a1Order}, &trace.Result{
+		Cols: []string{"oi.ID", "oi.O_ID", "oi.P_ID", "oi.QTY", "o.ID", "p.ID", "p.QTY"},
+		Sym: [][]smt.Var{{
+			{Name: "A1.res4.row0.oi.ID", S: smt.SortInt},
+			{Name: "A1.res4.row0.oi.O_ID", S: smt.SortInt},
+			{Name: "A1.res4.row0.oi.P_ID", S: smt.SortInt},
+			{Name: "A1.res4.row0.oi.QTY", S: smt.SortInt},
+			{Name: "A1.res4.row0.o.ID", S: smt.SortInt},
+			{Name: "A1.res4.row0.p.ID", S: smt.SortInt},
+			{Name: "A1.res4.row0.p.QTY", S: smt.SortInt},
+		}},
+	})
+	write := mkStmt(q6, []smt.Expr{a2QTY, a2PID}, nil)
+
+	cond := GenConflictCond(write, read, scm, "Product", "r1.", NewNamer("e1."), false)
+	if cond == smt.Expr(smt.False) {
+		t.Fatal("conflict condition is False")
+	}
+	res := solver.Solve(cond)
+	if res.Status != solver.SAT {
+		t.Fatalf("conflict condition unsatisfiable: %s\n%s", res.Status, cond)
+	}
+	// In every model, the written product row equals the fetched one.
+	got1 := res.Model.Vars["A2.res4.row0.p.ID"]
+	got2 := res.Model.Vars["A1.res4.row0.p.ID"]
+	if !got1.Equal(got2) {
+		t.Errorf("model decouples writer and reader rows: %s vs %s\nmodel: %s", got1, got2, res.Model)
+	}
+	// Conjoining an explicit inequality must make it UNSAT.
+	neq := smt.And(cond, smt.Ne(a2PID, smt.NewVar("A1.res4.row0.p.ID", smt.SortInt)))
+	if r := solver.Solve(neq); r.Status != solver.UNSAT {
+		t.Errorf("decoupled rows still satisfiable: %s", r.Status)
+	}
+}
+
+// TestConflictCondEmptyReadRangeLock: an empty SELECT conflicts with an
+// INSERT only through its range lock; the base (associated) condition is
+// False but the enlarged range condition keeps the edge alive — the d1
+// mechanism.
+func TestConflictCondEmptyReadRangeLock(t *testing.T) {
+	scm := fig1Schema()
+	selParam := smt.NewVar("A1.pid", smt.SortInt)
+	insParam := smt.NewVar("A2.pid", smt.SortInt)
+
+	read := mkStmt(`SELECT * FROM Product p WHERE p.ID = ?`, []smt.Expr{selParam}, &trace.Result{
+		Cols:  []string{"p.ID", "p.QTY"},
+		Empty: true,
+	})
+	write := mkStmt(`INSERT INTO Product (ID, QTY) VALUES (?, ?)`,
+		[]smt.Expr{insParam, smt.NewVar("A2.qty", smt.SortInt)}, nil)
+
+	cond := GenConflictCond(write, read, scm, "Product", "r1.", NewNamer("e1."), false)
+	res := solver.Solve(cond)
+	if res.Status != solver.SAT {
+		t.Fatalf("range-lock conflict not satisfiable: %s\n%s", res.Status, cond)
+	}
+}
+
+// TestConflictCondNoRangeNoRows: an empty read with no range-index
+// overlap with the writer yields False.
+func TestConflictCondNoLockOverlap(t *testing.T) {
+	scm := fig1Schema()
+	// Reader scans OrderItem via idx_oi_o; writer inserts into Product.
+	read := mkStmt(`SELECT * FROM OrderItem oi WHERE oi.O_ID = ?`,
+		[]smt.Expr{smt.NewVar("A1.oid", smt.SortInt)}, &trace.Result{Cols: []string{"oi.ID"}, Empty: true})
+	write := mkStmt(`INSERT INTO Product (ID, QTY) VALUES (?, ?)`,
+		[]smt.Expr{smt.NewVar("A2.pid", smt.SortInt), smt.NewVar("A2.q", smt.SortInt)}, nil)
+	cond := GenConflictCond(write, read, scm, "Product", "r1.", NewNamer("e1."), false)
+	if res := solver.Solve(cond); res.Status != solver.UNSAT {
+		t.Errorf("disjoint tables produced a satisfiable condition: %s", res.Status)
+	}
+}
+
+// TestConflictCondPathConditionKillsIt: conjoining contradictory path
+// conditions turns a satisfiable conflict UNSAT — the mechanism by which
+// the fine-grained phase eliminates false positives.
+func TestConflictCondPathConditionKillsIt(t *testing.T) {
+	scm := fig1Schema()
+	selParam := smt.NewVar("A1.pid", smt.SortInt)
+	updParam := smt.NewVar("A2.pid", smt.SortInt)
+	read := mkStmt(`SELECT * FROM Product p WHERE p.ID = ?`, []smt.Expr{selParam}, &trace.Result{
+		Cols: []string{"p.ID", "p.QTY"},
+		Sym: [][]smt.Var{{
+			{Name: "A1.res0.row0.p.ID", S: smt.SortInt},
+			{Name: "A1.res0.row0.p.QTY", S: smt.SortInt},
+		}},
+	})
+	write := mkStmt(q6, []smt.Expr{smt.NewVar("A2.q", smt.SortInt), updParam}, nil)
+	cond := GenConflictCond(write, read, scm, "Product", "r1.", NewNamer("e1."), false)
+
+	// Path conditions pin the two parameters to different key spaces.
+	pcs := smt.And(
+		smt.Eq(selParam, smt.NewVar("A1.res0.row0.p.ID", smt.SortInt)),
+		smt.Lt(selParam, smt.Int(100)),
+		smt.Ge(updParam, smt.Int(100)),
+	)
+	full := smt.And(cond, pcs)
+	if res := solver.Solve(full); res.Status != solver.UNSAT {
+		t.Errorf("contradictory path conditions still satisfiable: %s", res.Status)
+	}
+}
+
+func TestWriteWriteConflictCond(t *testing.T) {
+	scm := fig1Schema()
+	u1 := mkStmt(q6, []smt.Expr{smt.NewVar("A1.q", smt.SortInt), smt.NewVar("A1.pid", smt.SortInt)}, nil)
+	u2 := mkStmt(q6, []smt.Expr{smt.NewVar("A2.q", smt.SortInt), smt.NewVar("A2.pid", smt.SortInt)}, nil)
+	cond := GenConflictCond(u1, u2, scm, "Product", "r1.", NewNamer("e1."), false)
+	res := solver.Solve(cond)
+	if res.Status != solver.SAT {
+		t.Fatalf("update-update conflict: %s", res.Status)
+	}
+	if !res.Model.Vars["A1.pid"].Equal(res.Model.Vars["A2.pid"]) {
+		t.Errorf("conflicting updates must target one row: %s", res.Model)
+	}
+}

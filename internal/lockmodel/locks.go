@@ -1,0 +1,278 @@
+package lockmodel
+
+import (
+	"fmt"
+
+	"weseer/internal/schema"
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+	"weseer/internal/trace"
+)
+
+// Granularity is a modeled lock's granularity (Alg. 2).
+type Granularity uint8
+
+// Lock granularities.
+const (
+	Row Granularity = iota
+	Range
+	TableLock
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case Row:
+		return "ROW"
+	case Range:
+		return "RANGE"
+	case TableLock:
+		return "TABLE"
+	}
+	return fmt.Sprintf("Granularity(%d)", uint8(g))
+}
+
+// Lock is one modeled database lock: the index it is acquired on (nil for
+// table locks), granularity, mode, and — for range locks — the predicates
+// bounding the protected range.
+type Lock struct {
+	Table     string
+	Index     *schema.Index // nil for TABLE locks
+	Gran      Granularity
+	Exclusive bool
+	// Alias is the statement alias whose access acquired the lock.
+	Alias string
+	// Preds bound RANGE locks (nil for exclusive ranges, per Alg. 2).
+	Preds []sqlast.Pred
+}
+
+func (l Lock) String() string {
+	mode := "S"
+	if l.Exclusive {
+		mode = "X"
+	}
+	ix := "NULL"
+	if l.Index != nil {
+		ix = l.Index.String()
+	}
+	return fmt.Sprintf("(%s, %s, %s)", ix, l.Gran, mode)
+}
+
+// GenSharedLocks models the shared locks a statement acquires on the
+// target table (Alg. 2). isEmpty reports whether the statement fetched an
+// empty result — the case where only range locks protect the read set.
+func GenSharedLocks(st sqlast.Stmt, scm *schema.Schema, targetTable string, isEmpty bool) []Lock {
+	var locks []Lock
+	for _, use := range InferPossibleIndexes(st, scm) {
+		if use.Table != targetTable || use.Index == nil {
+			continue
+		}
+		ix := use.Index
+		if !isEmpty {
+			if ix.Unique && isPointQuery(ix, use.Preds) {
+				locks = append(locks, Lock{Table: targetTable, Index: ix, Gran: Row, Alias: use.Alias})
+			} else {
+				locks = append(locks, Lock{Table: targetTable, Index: ix, Gran: Range, Alias: use.Alias, Preds: use.Preds})
+			}
+			if ix.Type == schema.Secondary {
+				pri := scm.Table(targetTable).PrimaryIndex()
+				locks = append(locks, Lock{Table: targetTable, Index: pri, Gran: Row, Alias: use.Alias})
+			}
+		} else {
+			locks = append(locks, Lock{Table: targetTable, Index: ix, Gran: Range, Alias: use.Alias, Preds: use.Preds})
+		}
+	}
+	if len(locks) == 0 {
+		// No usable indexes: the whole table is locked.
+		locks = append(locks, Lock{Table: targetTable, Gran: TableLock, Alias: aliasOn(st, targetTable)})
+	}
+	return locks
+}
+
+// GenExclusiveLocks models the exclusive locks a write statement acquires
+// on the target table (Alg. 2): a row lock on the primary index for each
+// written row, plus row/range locks on every written secondary index.
+func GenExclusiveLocks(st sqlast.Stmt, scm *schema.Schema, targetTable string) []Lock {
+	t := scm.Table(targetTable)
+	alias := aliasOn(st, targetTable)
+	locks := []Lock{{
+		Table: targetTable, Index: t.PrimaryIndex(), Gran: Row, Exclusive: true, Alias: alias,
+	}}
+	for _, ix := range writtenIndexes(st, t) {
+		if ix.Unique {
+			locks = append(locks, Lock{Table: targetTable, Index: ix, Gran: Row, Exclusive: true, Alias: alias})
+		} else {
+			locks = append(locks, Lock{Table: targetTable, Index: ix, Gran: Range, Exclusive: true, Alias: alias})
+		}
+	}
+	return locks
+}
+
+// writtenIndexes returns the secondary indexes a write statement
+// modifies: for UPDATE, those covering a SET column; for INSERT and
+// DELETE, every secondary index (entries are created or removed).
+func writtenIndexes(st sqlast.Stmt, t *schema.Table) []*schema.Index {
+	var cols []string
+	switch w := st.(type) {
+	case *sqlast.Update:
+		cols = w.WrittenColumns()
+	case *sqlast.Upsert:
+		// Conservative: the insert touches every index; no need to look
+		// at the ON DUPLICATE KEY UPDATE columns separately.
+		return t.SecondaryIndexes()
+	case *sqlast.Insert, *sqlast.Delete:
+		return t.SecondaryIndexes()
+	default:
+		return nil
+	}
+	var out []*schema.Index
+	for _, ix := range t.SecondaryIndexes() {
+		for _, c := range cols {
+			if ix.Covers(c) {
+				out = append(out, ix)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isPointQuery reports whether the predicates pin every index column with
+// an equality — the condition for a ROW rather than RANGE lock.
+func isPointQuery(ix *schema.Index, preds []sqlast.Pred) bool {
+	for _, col := range ix.Columns {
+		found := false
+		for _, p := range preds {
+			if p.IsNull || p.Op != smt.EQ {
+				continue
+			}
+			if (p.L.Kind == sqlast.Col && p.L.Column == col) ||
+				(p.R.Kind == sqlast.Col && p.R.Column == col) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func aliasOn(st sqlast.Stmt, table string) string {
+	for alias, t := range sqlast.AliasMapOf(st) {
+		if t == table {
+			return alias
+		}
+	}
+	return table
+}
+
+// Conflicting reports whether two lock sets contain a conflicting pair:
+// locks on the same index (or two table locks on the same table) with at
+// least one exclusive.
+func Conflicting(a, b []Lock) bool {
+	for _, la := range a {
+		for _, lb := range b {
+			if !la.Exclusive && !lb.Exclusive {
+				continue
+			}
+			if la.Table != lb.Table {
+				continue
+			}
+			if la.Gran == TableLock || lb.Gran == TableLock {
+				return true
+			}
+			if la.Index != nil && lb.Index != nil && la.Index.Name == lb.Index.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FilterByPlan keeps the locks whose index appears in the recorded
+// concrete execution plan — the Sec. V-D future-work refinement. Locks
+// on the primary index always survive (secondary-index hits lock the
+// backing primary row regardless of the plan), as do table locks. A nil
+// plan means "not recorded": no filtering.
+func FilterByPlan(locks []Lock, plan []trace.PlanStep) []Lock {
+	if plan == nil {
+		return locks
+	}
+	inPlan := map[string]bool{}
+	for _, p := range plan {
+		if p.Index != "" {
+			inPlan[p.Table+"|"+p.Index] = true
+		}
+	}
+	out := locks[:0:0]
+	for _, l := range locks {
+		switch {
+		case l.Index == nil, l.Index.Type == schema.Primary,
+			inPlan[l.Table+"|"+l.Index.Name]:
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// PotentialConflict applies the fine-grained C-edge test: statements
+// conflict when they access a common table, at least one writes it, and
+// their modeled locks collide on a common index (Sec. V-C3). With
+// usePlans, each side's locks are restricted to its recorded execution
+// plan.
+func PotentialConflict(a, b *trace.Stmt, scm *schema.Schema, usePlans bool) bool {
+	aEmpty := a.Res != nil && a.Res.Empty
+	bEmpty := b.Res != nil && b.Res.Empty
+	for _, o := range []struct {
+		w, r   *trace.Stmt
+		rEmpty bool
+	}{{a, b, bEmpty}, {b, a, aEmpty}} {
+		tab := commonWrittenTable(o.w.Parsed, o.r.Parsed)
+		if tab == "" {
+			continue
+		}
+		wl := GenExclusiveLocks(o.w.Parsed, scm, tab)
+		rl := readLocksOf(o.r, scm, tab, o.rEmpty, usePlans)
+		if usePlans {
+			wl = FilterByPlan(wl, o.w.Plan)
+		}
+		if Conflicting(wl, rl) {
+			return true
+		}
+	}
+	return false
+}
+
+// readLocks models the locks the "reader" side of a conflict holds on the
+// table: shared locks for SELECTs, exclusive locks when the statement
+// itself writes the table.
+func readLocks(st sqlast.Stmt, scm *schema.Schema, table string, isEmpty bool) []Lock {
+	if st.WriteTable() == table {
+		return GenExclusiveLocks(st, scm, table)
+	}
+	return GenSharedLocks(st, scm, table, isEmpty)
+}
+
+// readLocksOf is readLocks over a recorded statement, optionally
+// restricted to its concrete execution plan.
+func readLocksOf(r *trace.Stmt, scm *schema.Schema, table string, isEmpty, usePlans bool) []Lock {
+	locks := readLocks(r.Parsed, scm, table, isEmpty)
+	if usePlans {
+		locks = FilterByPlan(locks, r.Plan)
+	}
+	return locks
+}
+
+func commonWrittenTable(w, r sqlast.Stmt) string {
+	wt := w.WriteTable()
+	if wt == "" {
+		return ""
+	}
+	for _, t := range r.Tables() {
+		if t == wt {
+			return wt
+		}
+	}
+	return ""
+}

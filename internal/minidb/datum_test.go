@@ -1,0 +1,135 @@
+package minidb
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumCmpInts(t *testing.T) {
+	f := func(a, b int32) bool {
+		c := I64(int64(a)).Cmp(I64(int64(b)))
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		}
+		return c == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatumCmpStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		c := Str(a).Cmp(Str(b))
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		}
+		return c == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatumCmpMixedNumeric(t *testing.T) {
+	// Int and Real compare numerically across kinds.
+	if I64(2).Cmp(Real(big.NewRat(5, 2))) >= 0 {
+		t.Error("2 < 5/2")
+	}
+	if RealInt(3).Cmp(I64(3)) != 0 {
+		t.Error("3 (Real) == 3 (Int)")
+	}
+	if !I64(4).Equal(Real(big.NewRat(8, 2))) {
+		t.Error("4 == 8/2")
+	}
+}
+
+func TestDatumNullOrdering(t *testing.T) {
+	n := NullDatum(KInt)
+	if n.Cmp(I64(-1<<62)) >= 0 {
+		t.Error("NULL sorts before every value")
+	}
+	if n.Cmp(NullDatum(KStr)) != 0 {
+		t.Error("NULL == NULL regardless of kind")
+	}
+	if !n.Equal(NullDatum(KInt)) {
+		t.Error("NULL equals NULL")
+	}
+}
+
+// TestKeyCmpLexicographic: composite keys order lexicographically, with
+// a proper prefix sorting first.
+func TestKeyCmpLexicographic(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		ka := Key{I64(int64(a1)), I64(int64(a2))}
+		kb := Key{I64(int64(b1)), I64(int64(b2))}
+		c := ka.Cmp(kb)
+		want := 0
+		switch {
+		case a1 != b1:
+			want = sign(int64(a1) - int64(b1))
+		case a2 != b2:
+			want = sign(int64(a2) - int64(b2))
+		}
+		return sign(int64(c)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Prefix ordering.
+	if (Key{I64(1)}).Cmp(Key{I64(1), I64(0)}) >= 0 {
+		t.Error("(1) < (1,0)")
+	}
+	if (Key{I64(1), I64(0)}).Cmp(Key{I64(1)}) <= 0 {
+		t.Error("(1,0) > (1)")
+	}
+}
+
+func sign(v int64) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+// TestKeyCmpTotalOrder: antisymmetry and transitivity over random keys.
+func TestKeyCmpTotalOrder(t *testing.T) {
+	mk := func(a, b int8) Key { return Key{I64(int64(a)), Str(string(rune('a' + int(b)%26)))} }
+	f := func(a1, b1, a2, b2, a3, b3 int8) bool {
+		x, y, z := mk(a1, b1), mk(a2, b2), mk(a3, b3)
+		if sign(int64(x.Cmp(y))) != -sign(int64(y.Cmp(x))) {
+			return false
+		}
+		if x.Cmp(y) <= 0 && y.Cmp(z) <= 0 && x.Cmp(z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := map[string]Datum{
+		"NULL":  NullDatum(KInt),
+		"7":     I64(7),
+		"3/2":   Real(big.NewRat(3, 2)),
+		"'abc'": Str("abc"),
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", d, got, want)
+		}
+	}
+}

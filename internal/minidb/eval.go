@@ -1,0 +1,107 @@
+package minidb
+
+import (
+	"fmt"
+
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+)
+
+// Predicate evaluation over bound rows, with SQL ternary-logic semantics
+// reduced to the fragment we need: a comparison involving NULL is not
+// satisfied, and IS NULL tests nullness directly.
+
+// resolve produces the concrete value of an operand. Column references
+// need their alias bound in bindings; ok is false otherwise.
+func (ex *executor) resolve(op sqlast.Operand, bindings map[string]Row, tables map[string]*tableStore) (Datum, bool) {
+	switch op.Kind {
+	case sqlast.Param:
+		if op.Ord >= len(ex.params) {
+			panic(fmt.Sprintf("minidb: parameter ordinal %d out of range", op.Ord))
+		}
+		return ex.params[op.Ord], true
+	case sqlast.ConstInt:
+		return I64(op.Int), true
+	case sqlast.ConstReal:
+		return Real(op.Real), true
+	case sqlast.ConstStr:
+		return Str(op.Str), true
+	case sqlast.Null:
+		return NullDatum(KInt), true
+	case sqlast.Col:
+		row, ok := bindings[op.Table]
+		if !ok {
+			return Datum{}, false
+		}
+		ts, ok := tables[op.Table]
+		if !ok {
+			return Datum{}, false
+		}
+		return row[colIdx(ts.meta, op.Column)], true
+	}
+	panic("minidb: bad operand kind")
+}
+
+// evalPred evaluates one predicate; unresolvable operands make it false.
+func (ex *executor) evalPred(p sqlast.Pred, bindings map[string]Row, tables map[string]*tableStore) bool {
+	l, ok := ex.resolve(p.L, bindings, tables)
+	if !ok {
+		return false
+	}
+	if p.IsNull {
+		return l.Null
+	}
+	r, ok := ex.resolve(p.R, bindings, tables)
+	if !ok {
+		return false
+	}
+	if l.Null || r.Null {
+		return false // SQL UNKNOWN collapses to not-satisfied
+	}
+	c := l.Cmp(r)
+	switch p.Op {
+	case smt.EQ:
+		return c == 0
+	case smt.NE:
+		return c != 0
+	case smt.LT:
+		return c < 0
+	case smt.LE:
+		return c <= 0
+	case smt.GT:
+		return c > 0
+	case smt.GE:
+		return c >= 0
+	}
+	panic("minidb: bad predicate op")
+}
+
+// evalCond evaluates the conjunction of simple predicates and disjunctive
+// groups.
+func (ex *executor) evalCond(c sqlast.Cond, bindings map[string]Row, tables map[string]*tableStore) bool {
+	for _, p := range c.Preds {
+		if !ex.evalPred(p, bindings, tables) {
+			return false
+		}
+	}
+	for _, g := range c.Ors {
+		sat := false
+		for _, dj := range g.Disjuncts {
+			all := true
+			for _, p := range dj {
+				if !ex.evalPred(p, bindings, tables) {
+					all = false
+					break
+				}
+			}
+			if all {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}

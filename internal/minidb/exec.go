@@ -1,0 +1,659 @@
+package minidb
+
+import (
+	"fmt"
+
+	"weseer/internal/schema"
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+)
+
+// The executor runs one statement pass under the storage latch. Locks are
+// acquired with TryAcquire during index traversal — exactly where InnoDB
+// acquires them; the first unavailable lock aborts the pass, the caller
+// waits on it, and the statement restarts. Locks acquired by earlier
+// passes remain held (strict 2PL), so progress is monotonic.
+
+// blockedOn describes the lock a pass stopped at.
+type blockedOn struct {
+	res  resource
+	mode LockMode
+}
+
+type executor struct {
+	txn     *Txn
+	params  []Datum
+	blocked *blockedOn
+}
+
+// lock try-acquires and records the first blockage.
+func (ex *executor) lock(res resource, mode LockMode) bool {
+	if ex.blocked != nil {
+		return false
+	}
+	if ex.txn.db.lm.TryAcquire(ex.txn, res, mode) {
+		return true
+	}
+	ex.blocked = &blockedOn{res: res, mode: mode}
+	return false
+}
+
+func recordRes(table, index string, key Key) resource {
+	return resource{table: table, index: index, key: key.String(), kind: resRecord}
+}
+
+func gapRes(table, index string, key Key) resource {
+	return resource{table: table, index: index, key: key.String(), kind: resGap}
+}
+
+func supremumRes(table, index string) resource {
+	return resource{table: table, index: index, key: supremumKey, kind: resGap}
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+
+// eqBind is an equality binding of an index column to a resolvable value.
+type eqBind struct {
+	col string
+	val sqlast.Operand
+}
+
+// access is one step of a nested-loop plan: how to fetch rows of alias.
+type access struct {
+	alias string
+	ts    *tableStore
+	ix    *schema.Index // index used; nil means full scan of the primary
+	eq    []eqBind      // equality prefix over ix.Columns
+}
+
+// planScan chooses join order and per-alias access paths. It prefers the
+// alias/index pair with the longest bound equality prefix — the greedy
+// equivalent of the paper's index-usage-graph topological sort, where an
+// index is usable once its input data (parameters or earlier tables'
+// columns) is available.
+func (ex *executor) planScan(aliases []string, tables map[string]*tableStore, preds []sqlast.Pred) []access {
+	bound := map[string]bool{}
+	var plan []access
+	remaining := append([]string(nil), aliases...)
+	for len(remaining) > 0 {
+		bestI, bestScore := -1, -1
+		var bestAcc access
+		for i, a := range remaining {
+			ts := tables[a]
+			indexes := append([]*schema.Index{ts.meta.PrimaryIndex()}, ts.meta.SecondaryIndexes()...)
+			for _, ix := range indexes {
+				eq := eqPrefix(a, ix, preds, bound)
+				if len(eq) == 0 {
+					continue
+				}
+				score := len(eq) * 2
+				if ix.Unique && len(eq) == len(ix.Columns) {
+					score++ // a unique point access wins ties
+				}
+				if score > bestScore {
+					bestI, bestScore = i, score
+					bestAcc = access{alias: a, ts: ts, ix: ix, eq: eq}
+				}
+			}
+		}
+		if bestI == -1 {
+			// No index applies: full-scan the first remaining alias.
+			a := remaining[0]
+			plan = append(plan, access{alias: a, ts: tables[a]})
+			bound[a] = true
+			remaining = remaining[1:]
+			continue
+		}
+		plan = append(plan, bestAcc)
+		bound[bestAcc.alias] = true
+		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+	}
+	return plan
+}
+
+// eqPrefix finds equality bindings for the longest prefix of ix.Columns
+// from preds whose other side is a parameter, constant, or a column of an
+// already-bound alias.
+func eqPrefix(alias string, ix *schema.Index, preds []sqlast.Pred, bound map[string]bool) []eqBind {
+	var out []eqBind
+	for _, col := range ix.Columns {
+		found := false
+		for _, p := range preds {
+			if p.IsNull || p.Op != smt.EQ {
+				continue
+			}
+			if isAliasCol(p.L, alias, col) && operandAvailable(p.R, bound) {
+				out = append(out, eqBind{col: col, val: p.R})
+				found = true
+				break
+			}
+			if isAliasCol(p.R, alias, col) && operandAvailable(p.L, bound) {
+				out = append(out, eqBind{col: col, val: p.L})
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return out
+}
+
+func isAliasCol(o sqlast.Operand, alias, col string) bool {
+	return o.Kind == sqlast.Col && o.Table == alias && o.Column == col
+}
+
+func operandAvailable(o sqlast.Operand, bound map[string]bool) bool {
+	if o.Kind == sqlast.Col {
+		return bound[o.Table]
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+
+// scanHit is one row produced by an index scan.
+type scanHit struct {
+	pk  Key
+	row Row
+}
+
+// scanIndex fetches rows matching the equality prefix, acquiring locks as
+// InnoDB does while traversing: unique point queries lock just the
+// record; other scans take next-key locks on every visited entry plus the
+// gap before the first entry beyond the range; empty results lock that
+// gap alone. Secondary-index hits additionally lock the primary record
+// (Alg. 2 of the paper models exactly this procedure).
+func (ex *executor) scanIndex(ts *tableStore, ac access, pfx Key, mode LockMode) []scanHit {
+	table := ts.meta.Name
+	ixName := "PRIMARY"
+	var ix *schema.Index
+	if ac.ix != nil {
+		ix = ac.ix
+		ixName = ix.Name
+	} else {
+		ix = ts.meta.PrimaryIndex()
+	}
+	uniquePoint := ix.Unique && len(pfx) == len(ix.Columns)
+
+	var hits []scanHit
+	done := false
+	visit := func(entry Key, pk Key, row Row, deleted bool) bool {
+		if !keyHasPrefix(entry, pfx) {
+			// First entry beyond the range bounds the scanned gap.
+			if !uniquePoint || len(hits) == 0 {
+				ex.lock(gapRes(table, ixName, entry), mode)
+			}
+			done = true
+			return false
+		}
+		if !ex.lock(recordRes(table, ixName, entry), mode) {
+			return false
+		}
+		if deleted {
+			// Delete-marked tombstone: the record lock (just acquired)
+			// serialized us against the deleter; the row itself is not
+			// visible. Keep scanning — for point queries the boundary
+			// branch then takes the protecting gap lock.
+			return true
+		}
+		if !uniquePoint {
+			if !ex.lock(gapRes(table, ixName, entry), mode) {
+				return false
+			}
+		}
+		if ix.Type == schema.Secondary {
+			// Lock the primary record backing the entry.
+			if !ex.lock(recordRes(table, "PRIMARY", pk), mode) {
+				return false
+			}
+		}
+		hits = append(hits, scanHit{pk: pk, row: row})
+		return !uniquePoint // a unique point query stops at its row
+	}
+
+	if ix.Type == schema.Primary {
+		ts.primary.Ascend(pfx, func(k Key, e *rowEntry) bool {
+			return visit(k, k, e.row, e.deleted)
+		})
+	} else {
+		ts.secondaries[ix.Name].Ascend(pfx, func(k Key, e *secEntry) bool {
+			if e.deleted {
+				return visit(k, e.pk, nil, true)
+			}
+			pe, ok := ts.primary.Get(e.pk)
+			if !ok || pe.deleted {
+				return visit(k, e.pk, nil, true)
+			}
+			return visit(k, e.pk, pe.row, false)
+		})
+	}
+	if ex.blocked != nil {
+		return nil
+	}
+	if !done && !(uniquePoint && len(hits) > 0) {
+		// Ran off the end of the index: the supremum gap bounds the scan.
+		ex.lock(supremumRes(table, ixName), mode)
+	}
+	return hits
+}
+
+func keyHasPrefix(k, pfx Key) bool {
+	if len(k) < len(pfx) {
+		return false
+	}
+	for i := range pfx {
+		if k[i].Cmp(pfx[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixKey resolves the access's equality bindings to datums.
+func (ex *executor) prefixKey(ac access, bindings map[string]Row, tables map[string]*tableStore) (Key, bool) {
+	var pfx Key
+	for _, b := range ac.eq {
+		d, ok := ex.resolve(b.val, bindings, tables)
+		if !ok || d.Null {
+			return nil, false
+		}
+		pfx = append(pfx, d)
+	}
+	return pfx, true
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+
+func (ex *executor) execSelect(sel *sqlast.Select) (*ResultSet, error) {
+	aliases := []string{sel.From.Alias()}
+	tables := map[string]*tableStore{sel.From.Alias(): ex.txn.db.table(sel.From.Table)}
+	for _, j := range sel.Joins {
+		aliases = append(aliases, j.Ref.Alias())
+		tables[j.Ref.Alias()] = ex.txn.db.table(j.Ref.Table)
+	}
+	cond := sel.QueryCond()
+	plan := ex.planScan(aliases, tables, cond.Preds)
+
+	rs := &ResultSet{}
+	cols := sel.Cols
+	if len(cols) == 0 {
+		for _, a := range aliases {
+			for _, c := range tables[a].meta.Columns {
+				cols = append(cols, sqlast.ColRef{Table: a, Column: c.Name})
+			}
+		}
+	}
+	for _, c := range cols {
+		rs.Cols = append(rs.Cols, c.Table+"."+c.Column)
+	}
+
+	bindings := map[string]Row{}
+	var loop func(i int) error
+	loop = func(i int) error {
+		if ex.blocked != nil {
+			return nil
+		}
+		if i == len(plan) {
+			if !ex.evalCond(cond, bindings, tables) {
+				return nil
+			}
+			out := make([]Datum, len(cols))
+			for ci, c := range cols {
+				row := bindings[c.Table]
+				out[ci] = row[colIdx(tables[c.Table].meta, c.Column)]
+			}
+			rs.Rows = append(rs.Rows, out)
+			return nil
+		}
+		ac := plan[i]
+		pfx, ok := ex.prefixKey(ac, bindings, tables)
+		if !ok {
+			return nil // a NULL join key matches nothing
+		}
+		hits := ex.scanIndex(ac.ts, ac, pfx, LockS)
+		for _, h := range hits {
+			bindings[ac.alias] = h.row
+			if err := loop(i + 1); err != nil {
+				return err
+			}
+			if ex.blocked != nil {
+				return nil
+			}
+		}
+		delete(bindings, ac.alias)
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE
+
+func (ex *executor) execUpdate(u *sqlast.Update) (*ResultSet, error) {
+	ts := ex.txn.db.table(u.Table)
+	hits, err := ex.writeScan(ts, u.Table, u.Where)
+	if err != nil || ex.blocked != nil {
+		return nil, err
+	}
+	// Reject primary-key updates: outside the supported subset.
+	pi := ts.meta.PrimaryIndex()
+	for _, a := range u.Set {
+		if pi.Covers(a.Column) {
+			return nil, fmt.Errorf("minidb: updating primary key column %s.%s is unsupported", u.Table, a.Column)
+		}
+	}
+	rs := &ResultSet{}
+	for _, h := range hits {
+		newRow := h.row.clone()
+		for _, a := range u.Set {
+			d, ok := ex.resolve(a.Value, map[string]Row{u.Table: h.row}, map[string]*tableStore{u.Table: ts})
+			if !ok {
+				return nil, fmt.Errorf("minidb: unresolvable SET value %s", a.Value)
+			}
+			newRow[colIdx(ts.meta, a.Column)] = d
+		}
+		// Lock and maintain secondary entries whose keys change.
+		for _, ix := range ts.meta.SecondaryIndexes() {
+			oldK, newK := ts.keyOf(ix, h.row), ts.keyOf(ix, newRow)
+			if oldK.Cmp(newK) == 0 {
+				continue
+			}
+			if !ex.lock(recordRes(u.Table, ix.Name, oldK), LockX) {
+				return nil, nil
+			}
+			if !ex.lock(recordRes(u.Table, ix.Name, newK), LockX) {
+				return nil, nil
+			}
+		}
+		for _, ix := range ts.meta.SecondaryIndexes() {
+			oldK, newK := ts.keyOf(ix, h.row), ts.keyOf(ix, newRow)
+			if oldK.Cmp(newK) != 0 {
+				// The old entry becomes a tombstone purged at commit;
+				// the new entry goes live.
+				ex.txn.putSecondary(ts, ix.Name, oldK, &secEntry{pk: h.pk, deleted: true})
+				ex.txn.purge = append(ex.txn.purge, purgeRec{table: u.Table, index: ix.Name, key: oldK})
+				ex.txn.putSecondary(ts, ix.Name, newK, &secEntry{pk: h.pk})
+			}
+		}
+		ex.txn.putPrimary(ts, h.pk, &rowEntry{row: newRow})
+		rs.Affected++
+	}
+	return rs, nil
+}
+
+// writeScan locates rows matching a single-table WHERE with X locks.
+func (ex *executor) writeScan(ts *tableStore, alias string, where sqlast.Cond) ([]scanHit, error) {
+	tables := map[string]*tableStore{alias: ts}
+	plan := ex.planScan([]string{alias}, tables, where.Preds)
+	ac := plan[0]
+	pfx, ok := ex.prefixKey(ac, nil, tables)
+	if !ok {
+		return nil, nil
+	}
+	hits := ex.scanIndex(ts, ac, pfx, LockX)
+	if ex.blocked != nil {
+		return nil, nil
+	}
+	matched := hits[:0]
+	for _, h := range hits {
+		if ex.evalCond(where, map[string]Row{alias: h.row}, tables) {
+			matched = append(matched, h)
+		}
+	}
+	return matched, nil
+}
+
+// ---------------------------------------------------------------------------
+// INSERT / UPSERT
+
+func (ex *executor) execInsert(ins *sqlast.Insert, onDup []sqlast.Assign) (*ResultSet, error) {
+	ts := ex.txn.db.table(ins.Table)
+	row := make(Row, len(ts.meta.Columns))
+	for i, c := range ts.meta.Columns {
+		if op, ok := ins.ValueOf(c.Name); ok {
+			d, okr := ex.resolve(op, nil, nil)
+			if !okr {
+				return nil, fmt.Errorf("minidb: unresolvable INSERT value %s", op)
+			}
+			row[i] = d
+		} else {
+			row[i] = NullDatum(KindOf(c.Type))
+		}
+	}
+	pk := ts.primaryKeyOf(row)
+	for _, d := range pk {
+		if d.Null {
+			return nil, fmt.Errorf("minidb: NULL primary key in INSERT INTO %s", ins.Table)
+		}
+	}
+
+	// Duplicate on the primary key? A delete-marked tombstone is not a
+	// duplicate, but inserting over it must first serialize against the
+	// deleter via its record lock.
+	if e, exists := ts.primary.Get(pk); exists {
+		if !e.deleted {
+			return ex.insertDuplicate(ts, ins, onDup, pk)
+		}
+		if !ex.lock(recordRes(ins.Table, "PRIMARY", pk), LockX) {
+			return nil, nil
+		}
+	}
+	// Duplicate on a unique secondary?
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		if !ix.Unique {
+			continue
+		}
+		var pfx Key
+		for _, c := range ix.Columns {
+			pfx = append(pfx, row[colIdx(ts.meta, c)])
+		}
+		var dupPK, tombK Key
+		ts.secondaries[ix.Name].Ascend(pfx, func(k Key, e *secEntry) bool {
+			if !keyHasPrefix(k, pfx) {
+				return false
+			}
+			if e.deleted {
+				tombK = k
+				return true // a tombstone is not a duplicate; keep looking
+			}
+			dupPK = e.pk
+			return false
+		})
+		if dupPK != nil {
+			return ex.insertDuplicate(ts, ins, onDup, dupPK)
+		}
+		if tombK != nil {
+			// Serialize the uniqueness check against the in-flight deleter.
+			if !ex.lock(recordRes(ins.Table, ix.Name, tombK), LockS) {
+				return nil, nil
+			}
+		}
+	}
+
+	// Insert intention against the gap each new entry lands in: waits for
+	// any gap lock another transaction holds over that gap. This is the
+	// collision underlying the paper's d1 (merge) and d2 (check-then-
+	// insert) deadlocks.
+	if !ex.insertIntentionPrimary(ts, pk) {
+		return nil, nil
+	}
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		if !ex.insertIntentionSec(ts, ix, ts.keyOf(ix, row)) {
+			return nil, nil
+		}
+	}
+	if !ex.lock(recordRes(ins.Table, "PRIMARY", pk), LockX) {
+		return nil, nil
+	}
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		if !ex.lock(recordRes(ins.Table, ix.Name, ts.keyOf(ix, row)), LockX) {
+			return nil, nil
+		}
+	}
+
+	ex.txn.putPrimary(ts, pk, &rowEntry{row: row})
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		ex.txn.putSecondary(ts, ix.Name, ts.keyOf(ix, row), &secEntry{pk: pk})
+	}
+	return &ResultSet{Affected: 1}, nil
+}
+
+// insertDuplicate handles a uniqueness collision: plain INSERT locks the
+// existing record shared (as InnoDB does) and fails; UPSERT locks it
+// exclusive and applies the ON DUPLICATE KEY UPDATE assignments.
+func (ex *executor) insertDuplicate(ts *tableStore, ins *sqlast.Insert, onDup []sqlast.Assign, pk Key) (*ResultSet, error) {
+	if onDup == nil {
+		if !ex.lock(recordRes(ins.Table, "PRIMARY", pk), LockS) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: %s%s", ErrDuplicateKey, ins.Table, pk)
+	}
+	if !ex.lock(recordRes(ins.Table, "PRIMARY", pk), LockX) {
+		return nil, nil
+	}
+	entry, ok := ts.primary.Get(pk)
+	if !ok || entry.deleted {
+		return nil, fmt.Errorf("minidb: upsert target vanished")
+	}
+	row := entry.row
+	newRow := row.clone()
+	for _, a := range onDup {
+		d, okr := ex.resolve(a.Value, map[string]Row{ins.Table: row}, map[string]*tableStore{ins.Table: ts})
+		if !okr {
+			return nil, fmt.Errorf("minidb: unresolvable UPSERT value %s", a.Value)
+		}
+		newRow[colIdx(ts.meta, a.Column)] = d
+	}
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		oldK, newK := ts.keyOf(ix, row), ts.keyOf(ix, newRow)
+		if oldK.Cmp(newK) == 0 {
+			continue
+		}
+		if !ex.lock(recordRes(ins.Table, ix.Name, oldK), LockX) {
+			return nil, nil
+		}
+		if !ex.lock(recordRes(ins.Table, ix.Name, newK), LockX) {
+			return nil, nil
+		}
+	}
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		oldK, newK := ts.keyOf(ix, row), ts.keyOf(ix, newRow)
+		if oldK.Cmp(newK) != 0 {
+			ex.txn.putSecondary(ts, ix.Name, oldK, &secEntry{pk: pk, deleted: true})
+			ex.txn.purge = append(ex.txn.purge, purgeRec{table: ins.Table, index: ix.Name, key: oldK})
+			ex.txn.putSecondary(ts, ix.Name, newK, &secEntry{pk: pk})
+		}
+	}
+	ex.txn.putPrimary(ts, pk, &rowEntry{row: newRow})
+	return &ResultSet{Affected: 2}, nil
+}
+
+// insertIntentionPrimary acquires the insert-intention lock on the gap
+// the new primary key falls into (bounded by its successor entry or the
+// supremum). The key's own tombstone, if any, is skipped.
+func (ex *executor) insertIntentionPrimary(ts *tableStore, newKey Key) bool {
+	succ := Key(nil)
+	ts.primary.Ascend(newKey, func(k Key, _ *rowEntry) bool {
+		if k.Cmp(newKey) == 0 {
+			return true
+		}
+		succ = k
+		return false
+	})
+	if succ == nil {
+		return ex.lock(supremumRes(ts.meta.Name, "PRIMARY"), LockII)
+	}
+	return ex.lock(gapRes(ts.meta.Name, "PRIMARY", succ), LockII)
+}
+
+// inheritGap X-locks the gap bounded by the first key strictly above k in
+// the primary index (or the supremum), modeling InnoDB's lock inheritance
+// when a record is purged.
+func (ex *executor) inheritGap(ts *tableStore, ixName string, k Key) bool {
+	var succ Key
+	ts.primary.Ascend(k, func(key Key, _ *rowEntry) bool {
+		if key.Cmp(k) == 0 {
+			return true // skip the key being deleted
+		}
+		succ = key
+		return false
+	})
+	if succ == nil {
+		return ex.lock(supremumRes(ts.meta.Name, ixName), LockX)
+	}
+	return ex.lock(gapRes(ts.meta.Name, ixName, succ), LockX)
+}
+
+func (ex *executor) inheritGapSec(ts *tableStore, ix *schema.Index, k Key) bool {
+	var succ Key
+	ts.secondaries[ix.Name].Ascend(k, func(key Key, _ *secEntry) bool {
+		if key.Cmp(k) == 0 {
+			return true
+		}
+		succ = key
+		return false
+	})
+	if succ == nil {
+		return ex.lock(supremumRes(ts.meta.Name, ix.Name), LockX)
+	}
+	return ex.lock(gapRes(ts.meta.Name, ix.Name, succ), LockX)
+}
+
+func (ex *executor) insertIntentionSec(ts *tableStore, ix *schema.Index, newKey Key) bool {
+	succ := Key(nil)
+	ts.secondaries[ix.Name].Ascend(newKey, func(k Key, _ *secEntry) bool {
+		if k.Cmp(newKey) == 0 {
+			return true
+		}
+		succ = k
+		return false
+	})
+	if succ == nil {
+		return ex.lock(supremumRes(ts.meta.Name, ix.Name), LockII)
+	}
+	return ex.lock(gapRes(ts.meta.Name, ix.Name, succ), LockII)
+}
+
+// ---------------------------------------------------------------------------
+// DELETE
+
+func (ex *executor) execDelete(d *sqlast.Delete) (*ResultSet, error) {
+	ts := ex.txn.db.table(d.Table)
+	hits, err := ex.writeScan(ts, d.Table, d.Where)
+	if err != nil || ex.blocked != nil {
+		return nil, err
+	}
+	rs := &ResultSet{}
+	for _, h := range hits {
+		for _, ix := range ts.meta.SecondaryIndexes() {
+			if !ex.lock(recordRes(d.Table, ix.Name, ts.keyOf(ix, h.row)), LockX) {
+				return nil, nil
+			}
+		}
+		// Gap inheritance: when a delete-marked record is purged, the
+		// locks protecting it transfer to the surrounding gap, so readers
+		// probing the vanished key still block on the deleter. Model it
+		// by locking the successor's gap on every touched index.
+		if !ex.inheritGap(ts, "PRIMARY", h.pk) {
+			return nil, nil
+		}
+		for _, ix := range ts.meta.SecondaryIndexes() {
+			if !ex.inheritGapSec(ts, ix, ts.keyOf(ix, h.row)) {
+				return nil, nil
+			}
+		}
+	}
+	for _, h := range hits {
+		ex.txn.markDeleted(ts, h.pk, h.row)
+		rs.Affected++
+	}
+	return rs, nil
+}

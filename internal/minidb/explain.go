@@ -1,0 +1,81 @@
+package minidb
+
+import (
+	"weseer/internal/sqlast"
+)
+
+// Explain exposes the executor's chosen access paths — the engine's
+// EXPLAIN. The planner is deterministic over the statement's shape (it
+// binds equality predicates to index prefixes; see planScan), so the
+// result describes exactly the indexes execution traverses and therefore
+// the locks it acquires. WeSEER's collector records this plan per
+// statement, implementing the paper's Sec. V-D future-work suggestion to
+// replace "assume all possible join orders" with the database's concrete
+// execution plan.
+
+// AccessPath describes how one table alias is accessed.
+type AccessPath struct {
+	Alias string
+	Table string
+	// Index is the traversed index name, or "" for a full table scan.
+	Index string
+	// EqColumns is the bound equality prefix of the index.
+	EqColumns []string
+}
+
+// Explain returns the access path per alias for the statement, in join
+// order. Parameter values are not needed: index selection depends only
+// on which predicates bind index prefixes.
+func (db *DB) Explain(st sqlast.Stmt) []AccessPath {
+	ex := &executor{}
+	switch s := st.(type) {
+	case *sqlast.Select:
+		aliases := []string{s.From.Alias()}
+		tables := map[string]*tableStore{s.From.Alias(): db.table(s.From.Table)}
+		for _, j := range s.Joins {
+			aliases = append(aliases, j.Ref.Alias())
+			tables[j.Ref.Alias()] = db.table(j.Ref.Table)
+		}
+		return accessPaths(ex.planScan(aliases, tables, s.QueryCond().Preds))
+	case *sqlast.Update:
+		return singleTablePath(ex, db, s.Table, s.Where)
+	case *sqlast.Delete:
+		return singleTablePath(ex, db, s.Table, s.Where)
+	case *sqlast.Insert:
+		return insertPaths(db, s.Table)
+	case *sqlast.Upsert:
+		return insertPaths(db, s.Table)
+	}
+	return nil
+}
+
+func singleTablePath(ex *executor, db *DB, table string, where sqlast.Cond) []AccessPath {
+	tables := map[string]*tableStore{table: db.table(table)}
+	return accessPaths(ex.planScan([]string{table}, tables, where.Preds))
+}
+
+func accessPaths(plan []access) []AccessPath {
+	out := make([]AccessPath, 0, len(plan))
+	for _, ac := range plan {
+		p := AccessPath{Alias: ac.alias, Table: ac.ts.meta.Name}
+		if ac.ix != nil {
+			p.Index = ac.ix.Name
+			for _, b := range ac.eq {
+				p.EqColumns = append(p.EqColumns, b.col)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// insertPaths reports the indexes an INSERT writes: the primary plus
+// every secondary (each receives an entry).
+func insertPaths(db *DB, table string) []AccessPath {
+	t := db.table(table).meta
+	out := []AccessPath{{Alias: table, Table: table, Index: "PRIMARY", EqColumns: t.PrimaryIndex().Columns}}
+	for _, ix := range t.SecondaryIndexes() {
+		out = append(out, AccessPath{Alias: table, Table: table, Index: ix.Name, EqColumns: ix.Columns})
+	}
+	return out
+}

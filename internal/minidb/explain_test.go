@@ -1,0 +1,52 @@
+package minidb
+
+import (
+	"testing"
+
+	"weseer/internal/sqlast"
+)
+
+func TestExplainQ4(t *testing.T) {
+	db := openTest(t)
+	plan := db.Explain(sqlast.MustParse(
+		`SELECT * FROM OrderItem oi JOIN Orders o ON o.ID = oi.O_ID JOIN Product p ON p.ID = oi.P_ID WHERE oi.O_ID = ?`))
+	if len(plan) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// The parameter binds oi's O_ID index first; the joins then use the
+	// primary indexes of Orders and Product.
+	if plan[0].Alias != "oi" || plan[0].Index != "idx_oi_o" {
+		t.Errorf("step 0 = %+v", plan[0])
+	}
+	for _, step := range plan[1:] {
+		if step.Index != "PRIMARY" {
+			t.Errorf("join step = %+v", step)
+		}
+	}
+}
+
+func TestExplainPointAndScan(t *testing.T) {
+	db := openTest(t)
+	plan := db.Explain(sqlast.MustParse(`UPDATE Product SET QTY = ? WHERE ID = ?`))
+	if len(plan) != 1 || plan[0].Index != "PRIMARY" || len(plan[0].EqColumns) != 1 {
+		t.Fatalf("point update plan = %+v", plan)
+	}
+	plan = db.Explain(sqlast.MustParse(`SELECT * FROM Product p WHERE p.QTY > ?`))
+	if len(plan) != 1 || plan[0].Index != "" {
+		t.Fatalf("full scan plan = %+v", plan)
+	}
+}
+
+func TestExplainInsert(t *testing.T) {
+	db := openTest(t)
+	plan := db.Explain(sqlast.MustParse(`INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)`))
+	names := map[string]bool{}
+	for _, p := range plan {
+		names[p.Index] = true
+	}
+	for _, want := range []string{"PRIMARY", "idx_oi_o", "idx_oi_p"} {
+		if !names[want] {
+			t.Errorf("insert plan missing %s: %+v", want, plan)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package minidb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Locking follows InnoDB's design: locks attach to index entries. A
+// record lock protects one entry; a gap lock protects the open interval
+// below an entry (the supremum pseudo-entry bounds the last gap); a
+// next-key lock is the combination, acquired as two resources. Insert
+// intention is a special gap-mode request that waits for others' gap
+// locks but never blocks anything itself.
+
+// Errors returned by lock acquisition. A deadlock aborts the requesting
+// transaction (the victim), mirroring detect-and-recover databases.
+var (
+	// ErrDeadlock is returned to the victim of a detected deadlock.
+	ErrDeadlock = errors.New("minidb: deadlock detected, transaction aborted")
+	// ErrLockWaitTimeout is returned when a lock wait exceeds the limit.
+	ErrLockWaitTimeout = errors.New("minidb: lock wait timeout, transaction aborted")
+)
+
+// LockMode is the requested lock strength.
+type LockMode uint8
+
+// Lock modes. LockII is insert intention.
+const (
+	LockS LockMode = iota
+	LockX
+	LockII
+)
+
+func (m LockMode) String() string {
+	switch m {
+	case LockS:
+		return "S"
+	case LockX:
+		return "X"
+	case LockII:
+		return "II"
+	}
+	return "?"
+}
+
+// resKind distinguishes record locks from gap locks.
+type resKind uint8
+
+const (
+	resRecord resKind = iota
+	resGap
+)
+
+// resource names one lockable unit: an index entry or the gap below it.
+type resource struct {
+	table string
+	index string
+	key   string // encoded entry key; supremumKey bounds the last gap
+	kind  resKind
+}
+
+// supremumKey is the pseudo-record above every real key in an index.
+const supremumKey = "+inf"
+
+// conflicts reports whether a granted lock blocks a request on the same
+// resource. The matrix mirrors InnoDB: record S/X conflict as usual; gap
+// locks are mutually compatible regardless of mode; insert intention
+// waits for gap locks held by others but blocks nothing.
+func conflicts(held, req LockMode, kind resKind) bool {
+	if kind == resRecord {
+		return held == LockX || req == LockX
+	}
+	// Gap resource.
+	if req == LockII {
+		return held == LockS || held == LockX
+	}
+	return false
+}
+
+// covers reports whether holding mode a makes a request for mode b
+// redundant on the same resource.
+func covers(a, b LockMode) bool {
+	if a == b {
+		return true
+	}
+	return a == LockX && b == LockS
+}
+
+type lockReq struct {
+	txn  *Txn
+	mode LockMode
+	res  resource
+	// wake receives nil when the lock is granted. Buffered so a releaser
+	// never blocks handing the lock over.
+	wake chan struct{}
+}
+
+type lockQueue struct {
+	grants  []*lockReq
+	waiters []*lockReq
+}
+
+// lockManager is the global lock table.
+type lockManager struct {
+	mu     sync.Mutex
+	queues map[resource]*lockQueue
+
+	deadlocks atomic.Int64
+	waits     atomic.Int64
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{queues: map[resource]*lockQueue{}}
+}
+
+func (lm *lockManager) queue(res resource) *lockQueue {
+	q := lm.queues[res]
+	if q == nil {
+		q = &lockQueue{}
+		lm.queues[res] = q
+	}
+	return q
+}
+
+// holdsAtLeast reports whether txn already holds a lock on res covering
+// mode. Caller holds lm.mu.
+func (lm *lockManager) holdsAtLeast(q *lockQueue, txn *Txn, mode LockMode) bool {
+	for _, g := range q.grants {
+		if g.txn == txn && covers(g.mode, mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// grantable reports whether txn may be granted mode on q given current
+// grants by other transactions. Caller holds lm.mu.
+func (lm *lockManager) grantable(q *lockQueue, txn *Txn, mode LockMode, kind resKind) bool {
+	for _, g := range q.grants {
+		if g.txn == txn {
+			continue
+		}
+		if conflicts(g.mode, mode, kind) {
+			return false
+		}
+	}
+	return true
+}
+
+// TryAcquire grants the lock iff it is immediately available. It never
+// waits and never detects deadlocks.
+func (lm *lockManager) TryAcquire(txn *Txn, res resource, mode LockMode) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	q := lm.queue(res)
+	if lm.holdsAtLeast(q, txn, mode) {
+		return true
+	}
+	if !lm.grantable(q, txn, mode, res.kind) {
+		return false
+	}
+	lm.grant(q, &lockReq{txn: txn, mode: mode, res: res})
+	return true
+}
+
+// grant records a granted request. Caller holds lm.mu.
+func (lm *lockManager) grant(q *lockQueue, r *lockReq) {
+	q.grants = append(q.grants, r)
+	r.txn.held = append(r.txn.held, r.res)
+}
+
+// Acquire blocks until the lock is granted, the wait times out, or a
+// deadlock is detected with txn as victim.
+func (lm *lockManager) Acquire(txn *Txn, res resource, mode LockMode, timeout time.Duration) error {
+	lm.mu.Lock()
+	q := lm.queue(res)
+	if lm.holdsAtLeast(q, txn, mode) {
+		lm.mu.Unlock()
+		return nil
+	}
+	if lm.grantable(q, txn, mode, res.kind) {
+		lm.grant(q, &lockReq{txn: txn, mode: mode, res: res})
+		lm.mu.Unlock()
+		return nil
+	}
+	req := &lockReq{txn: txn, mode: mode, res: res, wake: make(chan struct{}, 1)}
+	q.waiters = append(q.waiters, req)
+	txn.waitingFor = req
+	if lm.cycleThrough(txn) {
+		// txn is the victim: withdraw the request and abort.
+		lm.removeWaiter(q, req)
+		txn.waitingFor = nil
+		lm.deadlocks.Add(1)
+		lm.mu.Unlock()
+		return ErrDeadlock
+	}
+	lm.waits.Add(1)
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-req.wake:
+		return nil
+	case <-timer.C:
+	}
+	// Timed out — but the grant may have raced with the timer.
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	select {
+	case <-req.wake:
+		return nil
+	default:
+	}
+	lm.removeWaiter(q, req)
+	txn.waitingFor = nil
+	return ErrLockWaitTimeout
+}
+
+func (lm *lockManager) removeWaiter(q *lockQueue, req *lockReq) {
+	for i, w := range q.waiters {
+		if w == req {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// cycleThrough detects whether the waits-for graph contains a cycle
+// passing through start. Caller holds lm.mu. Edges: a waiting transaction
+// waits for every transaction holding a conflicting grant on the same
+// resource.
+func (lm *lockManager) cycleThrough(start *Txn) bool {
+	// DFS over transactions; blockersOf computes out-edges lazily.
+	visited := map[*Txn]bool{}
+	var dfs func(t *Txn) bool
+	dfs = func(t *Txn) bool {
+		if visited[t] {
+			return false
+		}
+		visited[t] = true
+		req := t.waitingFor
+		if req == nil {
+			return false
+		}
+		q := lm.queues[req.res]
+		if q == nil {
+			return false
+		}
+		for _, g := range q.grants {
+			if g.txn == t || !conflicts(g.mode, req.mode, req.res.kind) {
+				continue
+			}
+			if g.txn == start {
+				return true
+			}
+			if dfs(g.txn) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// ReleaseAll drops every lock txn holds and wakes newly grantable
+// waiters. Called at commit and rollback (strict 2PL).
+func (lm *lockManager) ReleaseAll(txn *Txn) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	seen := map[resource]bool{}
+	for _, res := range txn.held {
+		if seen[res] {
+			continue
+		}
+		seen[res] = true
+		q := lm.queues[res]
+		if q == nil {
+			continue
+		}
+		kept := q.grants[:0]
+		for _, g := range q.grants {
+			if g.txn != txn {
+				kept = append(kept, g)
+			}
+		}
+		q.grants = kept
+		lm.promote(res, q)
+		if len(q.grants) == 0 && len(q.waiters) == 0 {
+			delete(lm.queues, res)
+		}
+	}
+	txn.held = nil
+}
+
+// promote grants queued waiters that are now compatible, in FIFO order.
+// Caller holds lm.mu.
+func (lm *lockManager) promote(res resource, q *lockQueue) {
+	kept := q.waiters[:0]
+	for _, w := range q.waiters {
+		if lm.grantable(q, w.txn, w.mode, res.kind) {
+			lm.grant(q, w)
+			w.txn.waitingFor = nil
+			w.wake <- struct{}{}
+			continue
+		}
+		kept = append(kept, w)
+	}
+	q.waiters = kept
+}

@@ -1,0 +1,253 @@
+package minidb
+
+import (
+	"fmt"
+	"time"
+
+	"weseer/internal/sqlast"
+)
+
+// TxnState is a transaction's lifecycle state.
+type TxnState uint8
+
+// Transaction states.
+const (
+	TxnActive TxnState = iota
+	TxnCommitted
+	TxnAborted
+)
+
+// Txn is a database transaction running strict two-phase locking: every
+// lock acquired during statement execution is held until Commit or
+// Rollback.
+type Txn struct {
+	db    *DB
+	id    int64
+	state TxnState
+
+	// held and waitingFor are guarded by the lock manager's mutex.
+	held       []resource
+	waitingFor *lockReq
+
+	undo []undoRec
+	// purge lists the delete-marked entries this transaction owns; they
+	// are physically removed at commit (InnoDB's purge) and unmarked by
+	// the undo log on rollback.
+	purge []purgeRec
+}
+
+// undoRec is an entry-level undo record: enough to restore one index
+// entry to its pre-mutation state. Entry-level undo composes cleanly
+// across insert/update/delete/reinsert sequences within a transaction.
+type undoRec struct {
+	table string
+	index string // "" for the primary index
+	key   Key
+	// existed reports whether the entry was present before the mutation;
+	// when it was, the old* fields restore it.
+	existed    bool
+	oldRow     Row // primary entries
+	oldPK      Key // secondary entries
+	oldDeleted bool
+}
+
+type purgeRec struct {
+	table string
+	index string // "" for the primary index
+	key   Key
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{db: db, id: db.txnSeq.Add(1)}
+}
+
+// ID returns the transaction's sequence number.
+func (t *Txn) ID() int64 { return t.id }
+
+// State returns the lifecycle state.
+func (t *Txn) State() TxnState { return t.state }
+
+// ResultSet is the outcome of one statement.
+type ResultSet struct {
+	// Cols holds "alias.column" names for SELECT results.
+	Cols []string
+	Rows [][]Datum
+	// Affected counts rows changed by UPDATE/INSERT/DELETE/UPSERT.
+	Affected int
+}
+
+// Exec executes one statement with the given parameter values. On a
+// deadlock or lock-wait timeout the whole transaction is rolled back
+// (detect-and-recover) and the error is returned; ErrDuplicateKey fails
+// only the statement and leaves the transaction active.
+func (t *Txn) Exec(st sqlast.Stmt, params []Datum) (*ResultSet, error) {
+	if t.state != TxnActive {
+		return nil, ErrTxnDone
+	}
+	if got, want := len(params), st.NumParams(); got != want {
+		return nil, fmt.Errorf("minidb: statement %q wants %d params, got %d", st, want, got)
+	}
+	t.db.statements.Add(1)
+	if d := t.db.cfg.StatementDelay; d > 0 {
+		time.Sleep(d) // simulated client/server round trip
+	}
+	for {
+		rs, blocked, err := t.attempt(st, params)
+		if err != nil {
+			return nil, err
+		}
+		if blocked == nil {
+			return rs, nil
+		}
+		// Blocked mid-scan: wait for the contended lock, then restart the
+		// statement (locks already granted stay held, per 2PL).
+		if err := t.db.lm.Acquire(t, blocked.res, blocked.mode, t.db.cfg.LockWaitTimeout); err != nil {
+			t.rollbackInternal()
+			return nil, err
+		}
+	}
+}
+
+// attempt runs one statement pass under the storage latch. It returns a
+// non-nil blocked descriptor when a needed lock is unavailable; the
+// caller waits and retries.
+func (t *Txn) attempt(st sqlast.Stmt, params []Datum) (*ResultSet, *blockedOn, error) {
+	t.db.latch.Lock()
+	defer t.db.latch.Unlock()
+	ex := &executor{txn: t, params: params}
+	var rs *ResultSet
+	var err error
+	switch s := st.(type) {
+	case *sqlast.Select:
+		rs, err = ex.execSelect(s)
+	case *sqlast.Update:
+		rs, err = ex.execUpdate(s)
+	case *sqlast.Insert:
+		rs, err = ex.execInsert(s, nil)
+	case *sqlast.Upsert:
+		rs, err = ex.execInsert(&s.Insert, s.OnDup)
+	case *sqlast.Delete:
+		rs, err = ex.execDelete(s)
+	default:
+		return nil, nil, fmt.Errorf("minidb: unsupported statement %T", st)
+	}
+	if ex.blocked != nil {
+		return nil, ex.blocked, nil
+	}
+	return rs, nil, err
+}
+
+// Commit makes the transaction's effects durable, purges its tombstones,
+// and releases its locks.
+func (t *Txn) Commit() error {
+	if t.state != TxnActive {
+		return ErrTxnDone
+	}
+	if len(t.purge) > 0 {
+		t.db.latch.Lock()
+		for _, p := range t.purge {
+			ts := t.db.table(p.table)
+			if p.index == "" {
+				if e, ok := ts.primary.Get(p.key); ok && e.deleted {
+					ts.primary.Delete(p.key)
+				}
+			} else if e, ok := ts.secondaries[p.index].Get(p.key); ok && e.deleted {
+				ts.secondaries[p.index].Delete(p.key)
+			}
+		}
+		t.db.latch.Unlock()
+	}
+	t.state = TxnCommitted
+	t.undo = nil
+	t.purge = nil
+	t.db.lm.ReleaseAll(t)
+	t.db.commits.Add(1)
+	return nil
+}
+
+// Rollback undoes the transaction's effects and releases its locks.
+func (t *Txn) Rollback() error {
+	if t.state != TxnAborted && t.state != TxnActive {
+		return ErrTxnDone
+	}
+	if t.state == TxnAborted {
+		// Already rolled back internally when the engine aborted it.
+		return nil
+	}
+	t.rollbackInternal()
+	return nil
+}
+
+// rollbackInternal applies the entry-level undo log in reverse and
+// releases locks. Used both for explicit Rollback and engine-initiated
+// aborts (deadlock victims).
+func (t *Txn) rollbackInternal() {
+	t.db.latch.Lock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		ts := t.db.table(u.table)
+		if u.index == "" {
+			if !u.existed {
+				ts.primary.Delete(u.key)
+				continue
+			}
+			ts.primary.Set(u.key, &rowEntry{row: u.oldRow, deleted: u.oldDeleted})
+			continue
+		}
+		tree := ts.secondaries[u.index]
+		if !u.existed {
+			tree.Delete(u.key)
+			continue
+		}
+		tree.Set(u.key, &secEntry{pk: u.oldPK, deleted: u.oldDeleted})
+	}
+	t.undo = nil
+	t.purge = nil
+	t.db.latch.Unlock()
+	t.state = TxnAborted
+	t.db.lm.ReleaseAll(t)
+	t.db.aborts.Add(1)
+}
+
+// Mutation helpers used by the executor: every change to an index entry
+// records its pre-state first.
+
+// putPrimary writes a primary entry, recording undo.
+func (t *Txn) putPrimary(ts *tableStore, key Key, e *rowEntry) {
+	if old, ok := ts.primary.Get(key); ok {
+		t.undo = append(t.undo, undoRec{
+			table: ts.meta.Name, key: key, existed: true,
+			oldRow: old.row.clone(), oldDeleted: old.deleted,
+		})
+	} else {
+		t.undo = append(t.undo, undoRec{table: ts.meta.Name, key: key})
+	}
+	ts.primary.Set(key, e)
+}
+
+// putSecondary writes a secondary entry, recording undo.
+func (t *Txn) putSecondary(ts *tableStore, index string, key Key, e *secEntry) {
+	tree := ts.secondaries[index]
+	if old, ok := tree.Get(key); ok {
+		t.undo = append(t.undo, undoRec{
+			table: ts.meta.Name, index: index, key: key, existed: true,
+			oldPK: old.pk, oldDeleted: old.deleted,
+		})
+	} else {
+		t.undo = append(t.undo, undoRec{table: ts.meta.Name, index: index, key: key})
+	}
+	tree.Set(key, e)
+}
+
+// markDeleted tombstones a primary entry and its secondary entries,
+// scheduling the physical purge for commit.
+func (t *Txn) markDeleted(ts *tableStore, pk Key, row Row) {
+	t.putPrimary(ts, pk, &rowEntry{row: row, deleted: true})
+	t.purge = append(t.purge, purgeRec{table: ts.meta.Name, key: pk})
+	for _, ix := range ts.meta.SecondaryIndexes() {
+		sk := ts.keyOf(ix, row)
+		t.putSecondary(ts, ix.Name, sk, &secEntry{pk: pk, deleted: true})
+		t.purge = append(t.purge, purgeRec{table: ts.meta.Name, index: ix.Name, key: sk})
+	}
+}

@@ -1,0 +1,399 @@
+package orm
+
+import (
+	"fmt"
+	"strings"
+
+	"weseer/internal/concolic"
+	"weseer/internal/sqlast"
+	"weseer/internal/trace"
+)
+
+// Session is the persistence context: one unit of work with a first-level
+// read cache and a write-behind queue. Sessions outlive individual
+// transactions — the paper's Fig. 1 reads Order o from a cache populated
+// before the transaction began — and are not safe for concurrent use.
+type Session struct {
+	m    *Mapping
+	conn *concolic.Conn
+
+	// cache maps table → (pk → *Entity). It is a SymMap so cache probes
+	// generate the Alg. 1 existence path conditions.
+	cache map[string]*concolic.SymMap
+
+	// Write-behind state: pending INSERTs (Persist/Merge), dirty managed
+	// entities in first-modification order, and pending DELETEs.
+	pendingNew []*Entity
+	dirtyOrder []*Entity
+	pendingDel []*Entity
+}
+
+// NewSession opens a persistence context over a connection.
+func NewSession(m *Mapping, conn *concolic.Conn) *Session {
+	return &Session{m: m, conn: conn, cache: map[string]*concolic.SymMap{}}
+}
+
+// Conn exposes the underlying driver connection.
+func (s *Session) Conn() *concolic.Conn { return s.conn }
+
+// Mapping returns the session's ORM metadata.
+func (s *Session) Mapping() *Mapping { return s.m }
+
+func (s *Session) engine() *concolic.Engine { return s.conn.Engine() }
+
+func (s *Session) tableCache(table string) *concolic.SymMap {
+	c := s.cache[table]
+	if c == nil {
+		pk := s.m.pkColumn(table)
+		c = s.engine().NewSymMap("cache."+table, pk.Type.Sort())
+		s.cache[table] = c
+	}
+	return c
+}
+
+// Begin starts a database transaction.
+func (s *Session) Begin() error { return s.conn.Begin() }
+
+// Commit flushes the write-behind queue and commits. On any error the
+// transaction is rolled back.
+func (s *Session) Commit() error {
+	if err := s.Flush(); err != nil {
+		s.conn.Rollback()
+		return err
+	}
+	return s.conn.Commit()
+}
+
+// Rollback aborts the transaction and clears pending writes.
+func (s *Session) Rollback() error {
+	s.pendingNew = nil
+	s.dirtyOrder = nil
+	s.pendingDel = nil
+	return s.conn.Rollback()
+}
+
+// Transactional runs fn inside a transaction, mirroring the
+// @Transactional annotation: commit on success (flushing buffered
+// writes), roll back on error. Database errors surfacing as FlushError
+// panics (Hibernate's unchecked exceptions) are converted to errors.
+func (s *Session) Transactional(fn func() error) error {
+	if err := s.Begin(); err != nil {
+		return err
+	}
+	if err := Guard(fn); err != nil {
+		s.Rollback()
+		return err
+	}
+	return s.Commit()
+}
+
+// Guard runs fn, converting FlushError panics (the ORM's analog of
+// Hibernate's unchecked persistence exceptions) into returned errors.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if fe, ok := r.(*FlushError); ok {
+			err = fe
+			return
+		}
+		panic(r)
+	}()
+	return fn()
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+// Find returns the entity with the given primary key, consulting the read
+// cache first: a cache hit sends no SQL (Sec. II-B), a miss issues an
+// eager point SELECT. It returns nil when the row does not exist.
+func (s *Session) Find(table string, id concolic.Value) *Entity {
+	cache := s.tableCache(table)
+	if v, ok := cache.Get(id); ok {
+		return v.(*Entity)
+	}
+	t := s.m.scm.Table(table)
+	pk := t.PrimaryIndex().Columns[0]
+	sql := fmt.Sprintf("SELECT * FROM %s t WHERE t.%s = ?", table, pk)
+	rows, err := s.conn.Exec(sql, []concolic.Value{id}, concolic.Here(2))
+	if err != nil {
+		panic(&FlushError{Err: err})
+	}
+	if rows.Empty() {
+		return nil
+	}
+	en := s.hydrateAlias(table, "t", rows, 0)
+	return en
+}
+
+// Query runs an eager SELECT and hydrates every referenced alias's rows
+// into the read cache; it returns the entities of the given target alias
+// in row order (duplicates collapse to the cached entity).
+func (s *Session) Query(sql string, params []concolic.Value, target string) []*Entity {
+	return s.query(sql, params, target, concolic.Here(2))
+}
+
+func (s *Session) query(sql string, params []concolic.Value, target string, trigger trace.CodeLoc) []*Entity {
+	st, err := sqlast.Parse(sql)
+	if err != nil {
+		panic(fmt.Sprintf("orm: %v", err))
+	}
+	sel, ok := st.(*sqlast.Select)
+	if !ok {
+		panic("orm: Query requires a SELECT")
+	}
+	aliasMap := sel.AliasMap()
+	if _, ok := aliasMap[target]; !ok {
+		panic(fmt.Sprintf("orm: target alias %q not in %q", target, sql))
+	}
+	rows, err := s.conn.Exec(sql, params, trigger)
+	if err != nil {
+		panic(&FlushError{Err: err})
+	}
+	var out []*Entity
+	seen := map[*Entity]bool{}
+	for ri := 0; ri < rows.Len(); ri++ {
+		for alias, table := range aliasMap {
+			en := s.hydrateAlias(table, alias, rows, ri)
+			if alias == target && en != nil && !seen[en] {
+				seen[en] = true
+				out = append(out, en)
+			}
+		}
+	}
+	return out
+}
+
+// hydrateAlias loads one alias's columns of one result row into an
+// entity, reusing the cached instance when present (the read cache wins
+// over fresh database state, as Hibernate's first-level cache does).
+func (s *Session) hydrateAlias(table, alias string, rows *concolic.Rows, ri int) *Entity {
+	t := s.m.scm.Table(table)
+	pkCol := t.PrimaryIndex().Columns[0]
+	id := rows.Get(ri, alias+"."+pkCol)
+	if id.Null {
+		return nil // outer-ish join miss
+	}
+	cache := s.tableCache(table)
+	if v, ok := cache.Get(id); ok {
+		return v.(*Entity)
+	}
+	en := &Entity{Table: table, fields: map[string]concolic.Value{}, state: stateManaged}
+	for _, c := range t.Columns {
+		en.fields[c.Name] = rows.Get(ri, alias+"."+c.Name)
+	}
+	cache.Put(id, en)
+	return en
+}
+
+// Lazy returns a lazily-loaded collection handle. No SQL is sent until
+// Items is first called — the deferral that makes statement order differ
+// from program order.
+func (s *Session) Lazy(owner *Entity, collection string) *LazyList {
+	return &LazyList{s: s, owner: owner, spec: s.m.collection(owner.Table, collection)}
+}
+
+// LazyList is a lazily-loaded to-many association.
+type LazyList struct {
+	s      *Session
+	owner  *Entity
+	spec   *Collection
+	loaded bool
+	items  []*Entity
+}
+
+// Items loads the collection on first use (recording the access site as
+// the SELECT's trigger code, per Sec. VI's lazy-read rule) and returns
+// the member entities.
+func (ll *LazyList) Items() []*Entity {
+	if !ll.loaded {
+		params := make([]concolic.Value, len(ll.spec.OwnerParams))
+		for i, col := range ll.spec.OwnerParams {
+			params[i] = ll.owner.Get(col)
+		}
+		ll.items = ll.s.query(ll.spec.SQL, params, ll.spec.Target, concolic.Here(2))
+		ll.loaded = true
+	}
+	return ll.items
+}
+
+// Loaded reports whether the collection has been fetched.
+func (ll *LazyList) Loaded() bool { return ll.loaded }
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// NewEntity creates a transient entity with every column NULL.
+func (s *Session) NewEntity(table string) *Entity {
+	t := s.m.scm.Table(table)
+	if t == nil {
+		panic("orm: unknown table " + table)
+	}
+	en := &Entity{Table: table, fields: map[string]concolic.Value{}, state: stateNew}
+	for _, c := range t.Columns {
+		en.fields[c.Name] = concolic.NullValue(c.Type.Sort())
+	}
+	return en
+}
+
+// Set assigns a column value. On a managed entity this is an implicit
+// lazy write: the UPDATE is buffered and this call site becomes its
+// trigger code.
+func (s *Session) Set(en *Entity, col string, v concolic.Value) {
+	if s.m.scm.Table(en.Table).Column(col) == nil {
+		panic(fmt.Sprintf("orm: unknown column %s.%s", en.Table, col))
+	}
+	en.fields[col] = v
+	if en.state != stateManaged {
+		return
+	}
+	if en.dirty == nil {
+		en.dirty = map[string]bool{}
+		s.dirtyOrder = append(s.dirtyOrder, en)
+	}
+	en.dirty[col] = true
+	en.modLoc = concolic.Here(2)
+}
+
+// Persist schedules a transient entity for INSERT at the next flush.
+// Unlike Merge it issues no SELECT — the fix (f1) for deadlock d1.
+func (s *Session) Persist(en *Entity) {
+	if en.state != stateNew {
+		panic("orm: Persist of a managed entity")
+	}
+	en.persistLoc = concolic.Here(2)
+	s.pendingNew = append(s.pendingNew, en)
+	pk := s.m.scm.Table(en.Table).PrimaryIndex().Columns[0]
+	s.tableCache(en.Table).Put(en.Get(pk), en)
+}
+
+// Merge is Hibernate's merge: it issues an eager SELECT for the entity's
+// key and then schedules an INSERT (row absent) or buffered UPDATE (row
+// present). The SELECT's range lock on an absent key followed by the
+// INSERT is the paper's deadlock d1.
+func (s *Session) Merge(en *Entity) *Entity {
+	t := s.m.scm.Table(en.Table)
+	pkCol := t.PrimaryIndex().Columns[0]
+	id := en.Get(pkCol)
+	sql := fmt.Sprintf("SELECT * FROM %s t WHERE t.%s = ?", en.Table, pkCol)
+	rows, err := s.conn.Exec(sql, []concolic.Value{id}, concolic.Here(2))
+	if err != nil {
+		panic(&FlushError{Err: err})
+	}
+	if rows.Empty() {
+		en.persistLoc = concolic.Here(2)
+		en.state = stateNew
+		s.pendingNew = append(s.pendingNew, en)
+		s.tableCache(en.Table).Put(id, en)
+		return en
+	}
+	// Row exists: copy the detached state onto the managed instance.
+	managed := s.hydrateAlias(en.Table, "t", rows, 0)
+	for col, v := range en.fields {
+		if col == pkCol {
+			continue
+		}
+		s.Set(managed, col, v)
+	}
+	return managed
+}
+
+// Remove schedules a managed entity for DELETE at flush.
+func (s *Session) Remove(en *Entity) {
+	en.state = stateRemoved
+	en.persistLoc = concolic.Here(2)
+	s.pendingDel = append(s.pendingDel, en)
+	pk := s.m.scm.Table(en.Table).PrimaryIndex().Columns[0]
+	s.tableCache(en.Table).Remove(en.Get(pk))
+}
+
+// FlushError wraps a database error surfaced through the ORM. The
+// application layer treats it like Hibernate's runtime exceptions.
+type FlushError struct{ Err error }
+
+func (e *FlushError) Error() string { return "orm: " + e.Err.Error() }
+func (e *FlushError) Unwrap() error { return e.Err }
+
+// Flush drains the write-behind cache: buffered INSERTs first, then
+// UPDATEs in first-modification order, then DELETEs — the reordering
+// relative to program order that hides deadlocks d5/d6 (and that fix f4
+// exploits by flushing early).
+func (s *Session) Flush() error {
+	for _, en := range s.pendingNew {
+		if err := s.flushInsert(en); err != nil {
+			return err
+		}
+		en.state = stateManaged
+	}
+	s.pendingNew = nil
+	for _, en := range s.dirtyOrder {
+		if err := s.flushUpdate(en); err != nil {
+			return err
+		}
+		en.dirty = nil
+	}
+	s.dirtyOrder = nil
+	for _, en := range s.pendingDel {
+		if err := s.flushDelete(en); err != nil {
+			return err
+		}
+	}
+	s.pendingDel = nil
+	return nil
+}
+
+func (s *Session) flushInsert(en *Entity) error {
+	t := s.m.scm.Table(en.Table)
+	var cols []string
+	var params []concolic.Value
+	for _, c := range t.Columns {
+		v := en.fields[c.Name]
+		if v.Null {
+			continue
+		}
+		cols = append(cols, c.Name)
+		params = append(params, v)
+	}
+	marks := strings.TrimSuffix(strings.Repeat("?, ", len(cols)), ", ")
+	sql := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)", en.Table, strings.Join(cols, ", "), marks)
+	_, err := s.conn.Exec(sql, params, en.persistLoc)
+	return err
+}
+
+func (s *Session) flushUpdate(en *Entity) error {
+	t := s.m.scm.Table(en.Table)
+	pkCol := t.PrimaryIndex().Columns[0]
+	var sets []string
+	var params []concolic.Value
+	for _, c := range t.Columns {
+		if !en.dirty[c.Name] {
+			continue
+		}
+		sets = append(sets, c.Name+" = ?")
+		params = append(params, en.fields[c.Name])
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	params = append(params, en.fields[pkCol])
+	sql := fmt.Sprintf("UPDATE %s SET %s WHERE %s = ?", en.Table, strings.Join(sets, ", "), pkCol)
+	_, err := s.conn.Exec(sql, params, en.modLoc)
+	return err
+}
+
+func (s *Session) flushDelete(en *Entity) error {
+	t := s.m.scm.Table(en.Table)
+	pkCol := t.PrimaryIndex().Columns[0]
+	sql := fmt.Sprintf("DELETE FROM %s WHERE %s = ?", en.Table, pkCol)
+	_, err := s.conn.Exec(sql, []concolic.Value{en.fields[pkCol]}, en.persistLoc)
+	return err
+}
+
+// Exec sends an ad-hoc statement through the session's connection —
+// applications use it for hand-written SQL such as fix f2's UPSERT.
+func (s *Session) Exec(sql string, params []concolic.Value) (*concolic.Rows, error) {
+	return s.conn.Exec(sql, params, concolic.Here(2))
+}

@@ -1,0 +1,196 @@
+// Package replay automatically reproduces reported deadlocks against a
+// live database — the paper's second future-work item (Sec. V-D):
+// "develop a framework to automatically reproduce the deadlocks according
+// to WeSEER's report. Doing so helps eliminate all false positives and
+// removes the burden on developers to manually verify reported
+// deadlocks."
+//
+// A reported cycle names four statements: T1 holds the lock acquired at
+// S1a and waits at S1b; T2 holds at S2a and waits at S2b. Reproduction
+// opens two transactions against a database holding the collection-time
+// state, executes the two lock-holding statements with their recorded
+// concrete parameters, and then issues the two waiting statements
+// concurrently. If the report is a true positive, the engine's
+// detect-and-recover machinery fires and one side returns ErrDeadlock.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/trace"
+)
+
+// Status classifies a reproduction attempt.
+type Status uint8
+
+// Reproduction outcomes.
+const (
+	// Deadlocked: the cycle fired; the engine aborted a victim.
+	Deadlocked Status = iota
+	// Blocked: the waiting statements contended (one blocked until the
+	// other committed) but no cycle closed — a near-miss, typically a
+	// conservative report whose second edge did not materialize.
+	Blocked
+	// NoConflict: both waiting statements proceeded without contact; the
+	// report did not manifest on this state.
+	NoConflict
+	// SetupFailed: the holding statements could not be executed (state
+	// mismatch, duplicate keys, or mutual blocking).
+	SetupFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Deadlocked:
+		return "DEADLOCKED"
+	case Blocked:
+		return "blocked (near-miss)"
+	case NoConflict:
+		return "no conflict"
+	case SetupFailed:
+		return "setup failed"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Outcome reports one reproduction attempt.
+type Outcome struct {
+	Status Status
+	// Detail carries the distinguishing error or observation.
+	Detail string
+}
+
+// Reproduce attempts to trigger the reported cycle on db, which must hold
+// the state the traces were collected against (rebuild it by re-running
+// the unit-test sequence; see appkit.RunPrefix). Both transactions
+// are rolled back before returning, so the database state is preserved.
+func Reproduce(db *minidb.DB, cyc core.Cycle) Outcome {
+	t1, t2 := db.Begin(), db.Begin()
+	defer rollback(t1)
+	defer rollback(t2)
+
+	// Phase 1: take the held locks.
+	if err := execStmt(t1, cyc.S1a); err != nil {
+		return Outcome{Status: SetupFailed, Detail: fmt.Sprintf("T1 holding stmt: %v", err)}
+	}
+	if err := execStmt(t2, cyc.S2a); err != nil {
+		return Outcome{Status: SetupFailed, Detail: fmt.Sprintf("T2 holding stmt: %v", err)}
+	}
+
+	// Phase 2: issue both waiting statements concurrently.
+	type res struct {
+		who string
+		err error
+		dur time.Duration
+	}
+	results := make(chan res, 2)
+	run := func(who string, txn *minidb.Txn, st *trace.Stmt) {
+		start := time.Now()
+		err := execStmt(txn, st)
+		results <- res{who: who, err: err, dur: time.Since(start)}
+	}
+	go run("T1", t1, cyc.S1b)
+	go run("T2", t2, cyc.S2b)
+
+	var errs []res
+	for i := 0; i < 2; i++ {
+		r := <-results
+		errs = append(errs, r)
+		// Unblock the peer: once one side finishes (successfully or as a
+		// deadlock victim), commit-like release is simulated by rollback
+		// in the deferred cleanup; for the Blocked classification we need
+		// the first finisher's locks released so the second can finish.
+		if i == 0 && r.err == nil {
+			// The first statement completed without waiting long; release
+			// its transaction so a merely-blocked peer can proceed.
+			if r.who == "T1" {
+				rollback(t1)
+			} else {
+				rollback(t2)
+			}
+		}
+	}
+
+	var deadlocked, blocked bool
+	var detail string
+	for _, r := range errs {
+		switch {
+		case errors.Is(r.err, minidb.ErrDeadlock):
+			deadlocked = true
+			detail = fmt.Sprintf("%s aborted as deadlock victim after %v", r.who, r.dur.Round(time.Millisecond))
+		case errors.Is(r.err, minidb.ErrLockWaitTimeout):
+			blocked = true
+			detail = fmt.Sprintf("%s timed out waiting", r.who)
+		case r.err != nil:
+			detail = fmt.Sprintf("%s: %v", r.who, r.err)
+		case r.dur > 20*time.Millisecond:
+			blocked = true
+			if detail == "" {
+				detail = fmt.Sprintf("%s waited %v for the peer", r.who, r.dur.Round(time.Millisecond))
+			}
+		}
+	}
+	switch {
+	case deadlocked:
+		return Outcome{Status: Deadlocked, Detail: detail}
+	case blocked:
+		return Outcome{Status: Blocked, Detail: detail}
+	default:
+		return Outcome{Status: NoConflict, Detail: detail}
+	}
+}
+
+// ReproduceReport rebuilds the collection-time state with mkState and
+// attempts every deadlock in the result, returning per-report outcomes.
+// mkState must return a fresh database in the pre-collection state plus
+// the unit tests that were collected (their prefix is replayed to recover
+// each trace's initial state).
+func ReproduceReport(res *core.Result, mkState func() (*minidb.DB, []appkit.UnitTest)) []Outcome {
+	out := make([]Outcome, len(res.Deadlocks))
+	for i, d := range res.Deadlocks {
+		db, tests := mkState()
+		// Rebuild state up to the earlier of the two involved traces so
+		// the recorded concrete keys refer to live rows.
+		n := prefixLen(tests, d.APIs[0], d.APIs[1])
+		if err := appkit.RunPrefix(tests, n); err != nil {
+			out[i] = Outcome{Status: SetupFailed, Detail: err.Error()}
+			continue
+		}
+		out[i] = Reproduce(db, d.Cycle)
+	}
+	return out
+}
+
+// prefixLen returns how many unit tests to replay: all tests before the
+// earliest API involved in the cycle.
+func prefixLen(tests []appkit.UnitTest, api1, api2 string) int {
+	idx := len(tests)
+	for i, t := range tests {
+		if t.Name == api1 || t.Name == api2 {
+			idx = i
+			break
+		}
+	}
+	return idx
+}
+
+// execStmt replays one recorded statement with its concrete parameters.
+func execStmt(txn *minidb.Txn, st *trace.Stmt) error {
+	params := make([]minidb.Datum, len(st.Params))
+	for i, p := range st.Params {
+		params[i] = p.Concrete
+	}
+	_, err := txn.Exec(st.Parsed, params)
+	return err
+}
+
+func rollback(t *minidb.Txn) {
+	if t.State() == minidb.TxnActive || t.State() == minidb.TxnAborted {
+		t.Rollback()
+	}
+}

@@ -1,0 +1,246 @@
+// Package schema describes relational schemas: tables, typed columns,
+// primary and secondary indexes, and foreign keys. Both the minidb engine
+// and WeSEER's lock modeling (which must infer the indexes a statement can
+// use, Sec. V-C2 of the paper) consume these descriptions.
+package schema
+
+import (
+	"fmt"
+
+	"weseer/internal/smt"
+)
+
+// ColType is a column's data type.
+type ColType uint8
+
+// Column types map onto the solver sorts: INT→Int, DECIMAL→Real,
+// VARCHAR→String.
+const (
+	Int ColType = iota
+	Decimal
+	Varchar
+)
+
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Decimal:
+		return "DECIMAL"
+	case Varchar:
+		return "VARCHAR"
+	}
+	return fmt.Sprintf("ColType(%d)", uint8(t))
+}
+
+// Sort returns the smt sort used for symbolic values of this column type.
+func (t ColType) Sort() smt.Sort {
+	switch t {
+	case Int:
+		return smt.SortInt
+	case Decimal:
+		return smt.SortReal
+	case Varchar:
+		return smt.SortString
+	}
+	panic("schema: unknown ColType")
+}
+
+// Column is a typed table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// IndexType distinguishes the primary index from secondary indexes, per
+// the paper's index(table, type, columns) notation.
+type IndexType uint8
+
+// Index types.
+const (
+	Primary IndexType = iota
+	Secondary
+)
+
+func (t IndexType) String() string {
+	if t == Primary {
+		return "pri"
+	}
+	return "sec"
+}
+
+// Index is a database index over one or more columns of a table.
+type Index struct {
+	Name    string
+	Table   string
+	Type    IndexType
+	Unique  bool
+	Columns []string
+}
+
+func (ix *Index) String() string {
+	return fmt.Sprintf("index(%s, %s, %v)", ix.Table, ix.Type, ix.Columns)
+}
+
+// Covers reports whether col is one of the index's columns.
+func (ix *Index) Covers(col string) bool {
+	for _, c := range ix.Columns {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// ForeignKey declares that Columns of Table reference RefColumns of
+// RefTable.
+type ForeignKey struct {
+	Table      string
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Table is a table definition.
+type Table struct {
+	Name        string
+	Columns     []Column
+	Indexes     []*Index
+	ForeignKeys []ForeignKey
+
+	colByName map[string]*Column
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	return t.colByName[name]
+}
+
+// PrimaryIndex returns the table's primary index, or nil if none exists
+// (a heap table; statements against it take table locks).
+func (t *Table) PrimaryIndex() *Index {
+	for _, ix := range t.Indexes {
+		if ix.Type == Primary {
+			return ix
+		}
+	}
+	return nil
+}
+
+// SecondaryIndexes returns all non-primary indexes.
+func (t *Table) SecondaryIndexes() []*Index {
+	var out []*Index
+	for _, ix := range t.Indexes {
+		if ix.Type == Secondary {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// Schema is a set of tables.
+type Schema struct {
+	tables  map[string]*Table
+	ordered []*Table
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{tables: map[string]*Table{}}
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table {
+	return s.tables[name]
+}
+
+// Tables returns tables in definition order.
+func (s *Schema) Tables() []*Table {
+	return s.ordered
+}
+
+// TableBuilder accumulates a table definition.
+type TableBuilder struct {
+	s *Schema
+	t *Table
+}
+
+// AddTable starts defining a table. It panics on duplicate names:
+// schemas are static program inputs, so misuse is a programming error.
+func (s *Schema) AddTable(name string) *TableBuilder {
+	if _, ok := s.tables[name]; ok {
+		panic("schema: duplicate table " + name)
+	}
+	t := &Table{Name: name, colByName: map[string]*Column{}}
+	s.tables[name] = t
+	s.ordered = append(s.ordered, t)
+	return &TableBuilder{s: s, t: t}
+}
+
+// Col adds a column.
+func (b *TableBuilder) Col(name string, typ ColType) *TableBuilder {
+	if b.t.colByName[name] != nil {
+		panic("schema: duplicate column " + name + " in " + b.t.Name)
+	}
+	b.t.Columns = append(b.t.Columns, Column{Name: name, Type: typ})
+	b.t.colByName[name] = &b.t.Columns[len(b.t.Columns)-1]
+	return b
+}
+
+// PrimaryKey declares the primary index over cols.
+func (b *TableBuilder) PrimaryKey(cols ...string) *TableBuilder {
+	b.checkCols(cols)
+	if b.t.PrimaryIndex() != nil {
+		panic("schema: duplicate primary key on " + b.t.Name)
+	}
+	b.t.Indexes = append(b.t.Indexes, &Index{
+		Name: "PRIMARY", Table: b.t.Name, Type: Primary, Unique: true, Columns: cols,
+	})
+	return b
+}
+
+// Index adds a non-unique secondary index.
+func (b *TableBuilder) Index(name string, cols ...string) *TableBuilder {
+	return b.addSecondary(name, false, cols)
+}
+
+// UniqueIndex adds a unique secondary index.
+func (b *TableBuilder) UniqueIndex(name string, cols ...string) *TableBuilder {
+	return b.addSecondary(name, true, cols)
+}
+
+func (b *TableBuilder) addSecondary(name string, unique bool, cols []string) *TableBuilder {
+	b.checkCols(cols)
+	for _, ix := range b.t.Indexes {
+		if ix.Name == name {
+			panic("schema: duplicate index " + name + " on " + b.t.Name)
+		}
+	}
+	b.t.Indexes = append(b.t.Indexes, &Index{
+		Name: name, Table: b.t.Name, Type: Secondary, Unique: unique, Columns: cols,
+	})
+	return b
+}
+
+// ForeignKey declares cols reference refTable(refCols).
+func (b *TableBuilder) ForeignKey(cols []string, refTable string, refCols []string) *TableBuilder {
+	b.checkCols(cols)
+	if len(cols) != len(refCols) {
+		panic("schema: foreign key arity mismatch")
+	}
+	b.t.ForeignKeys = append(b.t.ForeignKeys, ForeignKey{
+		Table: b.t.Name, Columns: cols, RefTable: refTable, RefColumns: refCols,
+	})
+	return b
+}
+
+func (b *TableBuilder) checkCols(cols []string) {
+	if len(cols) == 0 {
+		panic("schema: empty column list")
+	}
+	for _, c := range cols {
+		if b.t.colByName[c] == nil {
+			panic(fmt.Sprintf("schema: unknown column %s.%s", b.t.Name, c))
+		}
+	}
+}

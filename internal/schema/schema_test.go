@@ -1,0 +1,126 @@
+package schema
+
+import (
+	"testing"
+
+	"weseer/internal/smt"
+)
+
+// paperSchema builds the Fig. 1 schema from the paper.
+func paperSchema() *Schema {
+	s := New()
+	s.AddTable("Orders").
+		Col("ID", Int).
+		PrimaryKey("ID")
+	s.AddTable("Product").
+		Col("ID", Int).
+		Col("QTY", Int).
+		PrimaryKey("ID")
+	s.AddTable("OrderItem").
+		Col("ID", Int).
+		Col("O_ID", Int).
+		Col("P_ID", Int).
+		Col("QTY", Int).
+		PrimaryKey("ID").
+		Index("idx_o_id", "O_ID").
+		Index("idx_p_id", "P_ID").
+		ForeignKey([]string{"O_ID"}, "Orders", []string{"ID"}).
+		ForeignKey([]string{"P_ID"}, "Product", []string{"ID"})
+	return s
+}
+
+func TestPaperSchema(t *testing.T) {
+	s := paperSchema()
+	oi := s.Table("OrderItem")
+	if oi == nil {
+		t.Fatal("OrderItem missing")
+	}
+	if oi.Column("O_ID") == nil || oi.Column("O_ID").Type != Int {
+		t.Error("O_ID column wrong")
+	}
+	if oi.Column("missing") != nil {
+		t.Error("phantom column")
+	}
+	pi := oi.PrimaryIndex()
+	if pi == nil || !pi.Unique || pi.Type != Primary || len(pi.Columns) != 1 || pi.Columns[0] != "ID" {
+		t.Errorf("primary index %+v", pi)
+	}
+	secs := oi.SecondaryIndexes()
+	if len(secs) != 2 {
+		t.Fatalf("secondary indexes = %d", len(secs))
+	}
+	if secs[0].Unique {
+		t.Error("idx_o_id should be non-unique")
+	}
+	if !secs[0].Covers("O_ID") || secs[0].Covers("P_ID") {
+		t.Error("Covers wrong")
+	}
+	if len(oi.ForeignKeys) != 2 || oi.ForeignKeys[0].RefTable != "Orders" {
+		t.Errorf("foreign keys %+v", oi.ForeignKeys)
+	}
+	if got := len(s.Tables()); got != 3 {
+		t.Errorf("tables = %d", got)
+	}
+}
+
+func TestColTypeSort(t *testing.T) {
+	if Int.Sort() != smt.SortInt || Decimal.Sort() != smt.SortReal || Varchar.Sort() != smt.SortString {
+		t.Error("ColType sorts wrong")
+	}
+}
+
+func TestIndexString(t *testing.T) {
+	ix := &Index{Name: "idx", Table: "T", Type: Secondary, Columns: []string{"a", "b"}}
+	if got := ix.String(); got != "index(T, sec, [a b])" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestNoPrimaryIndex(t *testing.T) {
+	s := New()
+	s.AddTable("Heap").Col("x", Int)
+	if s.Table("Heap").PrimaryIndex() != nil {
+		t.Error("heap table should have no primary index")
+	}
+}
+
+func TestUniqueSecondary(t *testing.T) {
+	s := New()
+	s.AddTable("Users").
+		Col("ID", Int).
+		Col("EMAIL", Varchar).
+		PrimaryKey("ID").
+		UniqueIndex("uniq_email", "EMAIL")
+	ix := s.Table("Users").SecondaryIndexes()[0]
+	if !ix.Unique || ix.Type != Secondary {
+		t.Errorf("index %+v", ix)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("dup table", func() {
+		s := New()
+		s.AddTable("T").Col("x", Int)
+		s.AddTable("T")
+	})
+	expectPanic("dup column", func() {
+		New().AddTable("T").Col("x", Int).Col("x", Int)
+	})
+	expectPanic("unknown index column", func() {
+		New().AddTable("T").Col("x", Int).Index("i", "y")
+	})
+	expectPanic("dup primary", func() {
+		New().AddTable("T").Col("x", Int).PrimaryKey("x").PrimaryKey("x")
+	})
+	expectPanic("fk arity", func() {
+		New().AddTable("T").Col("x", Int).ForeignKey([]string{"x"}, "U", []string{"a", "b"})
+	})
+}

@@ -1,0 +1,256 @@
+package solver
+
+// Propositional layer: NNF conversion, Tseitin CNF encoding, and a DPLL
+// search with unit propagation and chronological backtracking. Formulas
+// the deadlock analyzer emits are small (hundreds of atoms), so the
+// emphasis is on correctness and debuggability over raw SAT speed.
+
+// lit is a literal: variable index shifted left once, low bit = negated.
+type lit int
+
+func mkLit(v int, neg bool) lit {
+	l := lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func (l lit) varIdx() int { return int(l) >> 1 }
+func (l lit) negated() bool {
+	return l&1 == 1
+}
+func (l lit) negate() lit { return l ^ 1 }
+
+// pnode is a node of the NNF formula tree.
+type pnode struct {
+	kind pkind
+	lit  lit      // for pLit
+	b    bool     // for pConst
+	kids []*pnode // for pAnd / pOr
+}
+
+type pkind uint8
+
+const (
+	pLit pkind = iota
+	pConst
+	pAnd
+	pOr
+)
+
+// cnfBuilder accumulates clauses and allocates variables. Variables
+// [0, numAtoms) are atom variables; the rest are Tseitin auxiliaries.
+type cnfBuilder struct {
+	numVars int
+	clauses [][]lit
+}
+
+func (b *cnfBuilder) newVar() int {
+	v := b.numVars
+	b.numVars++
+	return v
+}
+
+func (b *cnfBuilder) addClause(ls ...lit) {
+	cl := make([]lit, len(ls))
+	copy(cl, ls)
+	b.clauses = append(b.clauses, cl)
+}
+
+// tseitin encodes node n and returns a literal equivalent to it.
+// Constant nodes return (0, false, b): handled by callers.
+func (b *cnfBuilder) tseitin(n *pnode) (lit, bool /*isConst*/, bool /*constVal*/) {
+	switch n.kind {
+	case pLit:
+		return n.lit, false, false
+	case pConst:
+		return 0, true, n.b
+	case pAnd, pOr:
+		isAnd := n.kind == pAnd
+		var kidLits []lit
+		for _, k := range n.kids {
+			l, isC, cv := b.tseitin(k)
+			if isC {
+				if cv == isAnd {
+					continue // neutral
+				}
+				return 0, true, !isAnd // absorbing
+			}
+			kidLits = append(kidLits, l)
+		}
+		if len(kidLits) == 0 {
+			return 0, true, isAnd
+		}
+		if len(kidLits) == 1 {
+			return kidLits[0], false, false
+		}
+		aux := mkLit(b.newVar(), false)
+		if isAnd {
+			// aux ↔ ∧ kids
+			long := make([]lit, 0, len(kidLits)+1)
+			long = append(long, aux)
+			for _, kl := range kidLits {
+				b.addClause(aux.negate(), kl)
+				long = append(long, kl.negate())
+			}
+			b.addClause(long...)
+		} else {
+			long := make([]lit, 0, len(kidLits)+1)
+			long = append(long, aux.negate())
+			for _, kl := range kidLits {
+				b.addClause(aux, kl.negate())
+				long = append(long, kl)
+			}
+			b.addClause(long...)
+		}
+		return aux, false, false
+	}
+	panic("solver: bad pnode")
+}
+
+// dpll is a straightforward DPLL engine over the CNF. Learned (blocking)
+// clauses can be appended between searches via addClause.
+type dpll struct {
+	numVars int
+	clauses [][]lit
+	assign  []int8 // 0 unassigned, 1 true, -1 false
+	trail   []int  // assigned variable order
+	// declevel[i] is the index into trail where decision i was made.
+	decisions []int
+	// flipped[i] reports whether decision i has already been flipped.
+	flipped []bool
+	stats   *Stats
+}
+
+func newDPLL(numVars int, clauses [][]lit, stats *Stats) *dpll {
+	return &dpll{
+		numVars: numVars,
+		clauses: clauses,
+		assign:  make([]int8, numVars),
+		stats:   stats,
+	}
+}
+
+func (d *dpll) value(l lit) int8 {
+	v := d.assign[l.varIdx()]
+	if l.negated() {
+		return -v
+	}
+	return v
+}
+
+func (d *dpll) set(l lit) {
+	v := int8(1)
+	if l.negated() {
+		v = -1
+	}
+	d.assign[l.varIdx()] = v
+	d.trail = append(d.trail, l.varIdx())
+}
+
+// propagate runs unit propagation to fixpoint; it returns false on an
+// empty clause (conflict).
+func (d *dpll) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, cl := range d.clauses {
+			unassigned := -1
+			satisfied := false
+			count := 0
+			for i, l := range cl {
+				switch d.value(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					unassigned = i
+					count++
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if count == 0 {
+				return false
+			}
+			if count == 1 {
+				d.set(cl[unassigned])
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+// backtrack undoes the most recent unflipped decision and flips it.
+// It returns false when no decision remains (search exhausted).
+func (d *dpll) backtrack() bool {
+	for len(d.decisions) > 0 {
+		top := len(d.decisions) - 1
+		mark := d.decisions[top]
+		wasFlipped := d.flipped[top]
+		decidedVar := d.trail[mark]
+		decidedVal := d.assign[decidedVar]
+		for i := len(d.trail) - 1; i >= mark; i-- {
+			d.assign[d.trail[i]] = 0
+		}
+		d.trail = d.trail[:mark]
+		d.decisions = d.decisions[:top]
+		d.flipped = d.flipped[:top]
+		if wasFlipped {
+			continue
+		}
+		// Re-assert the flipped decision as a pseudo-decision so a later
+		// conflict skips over it.
+		d.decisions = append(d.decisions, len(d.trail))
+		d.flipped = append(d.flipped, true)
+		flippedLit := mkLit(decidedVar, decidedVal == 1)
+		d.set(flippedLit)
+		return true
+	}
+	return false
+}
+
+// pickUnassigned returns an unassigned variable, or -1 when the
+// assignment is complete.
+func (d *dpll) pickUnassigned() int {
+	for v := 0; v < d.numVars; v++ {
+		if d.assign[v] == 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// decide assigns variable v at a new decision level with the given
+// polarity (phase-saving: the caller proposes the value the current
+// theory model already satisfies, so most decisions stay theory-
+// consistent).
+func (d *dpll) decide(v int, value bool) {
+	d.stats.Decisions++
+	d.decisions = append(d.decisions, len(d.trail))
+	d.flipped = append(d.flipped, false)
+	d.set(mkLit(v, !value))
+}
+
+// block adds a clause forbidding the current assignment restricted to the
+// given variables, then backtracks so the search can continue.
+func (d *dpll) block(vars []int) bool {
+	cl := make([]lit, 0, len(vars))
+	for _, v := range vars {
+		switch d.assign[v] {
+		case 1:
+			cl = append(cl, mkLit(v, true))
+		case -1:
+			cl = append(cl, mkLit(v, false))
+		}
+	}
+	if len(cl) == 0 {
+		return false // current (empty) assignment unblockable: exhausted
+	}
+	d.clauses = append(d.clauses, cl)
+	return d.backtrack()
+}

@@ -1,0 +1,594 @@
+package solver
+
+import (
+	"math/big"
+	"sort"
+
+	"weseer/internal/smt"
+)
+
+// This file implements the linear-arithmetic theory solver: Fourier–Motzkin
+// elimination over exact rationals with Gaussian pre-substitution of
+// equalities, branching over disequalities, and branch-and-bound for
+// integer-sorted variables. It both decides satisfiability and produces a
+// satisfying assignment for model construction.
+
+type linOp uint8
+
+const (
+	opLE linOp = iota
+	opLT
+	opEQ
+	opNE
+)
+
+// linCon is the constraint Σ coeffs[x]·x  op  rhs.
+type linCon struct {
+	coeffs map[string]*big.Rat
+	rhs    *big.Rat
+	op     linOp
+}
+
+func newLinCon(op linOp) *linCon {
+	return &linCon{coeffs: map[string]*big.Rat{}, rhs: new(big.Rat), op: op}
+}
+
+func (c *linCon) clone() *linCon {
+	n := newLinCon(c.op)
+	n.rhs.Set(c.rhs)
+	for k, v := range c.coeffs {
+		n.coeffs[k] = new(big.Rat).Set(v)
+	}
+	return n
+}
+
+// addTerm adds coeff·x to the left-hand side.
+func (c *linCon) addTerm(x string, coeff *big.Rat) {
+	if cur, ok := c.coeffs[x]; ok {
+		cur.Add(cur, coeff)
+		if cur.Sign() == 0 {
+			delete(c.coeffs, x)
+		}
+		return
+	}
+	if coeff.Sign() != 0 {
+		c.coeffs[x] = new(big.Rat).Set(coeff)
+	}
+}
+
+// eval returns lhs value under the assignment; missing vars count as 0.
+func (c *linCon) eval(asn map[string]*big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	for x, co := range c.coeffs {
+		if v, ok := asn[x]; ok {
+			sum.Add(sum, new(big.Rat).Mul(co, v))
+		}
+	}
+	return sum
+}
+
+// holds reports whether the constraint is satisfied under a total
+// assignment of its variables.
+func (c *linCon) holds(asn map[string]*big.Rat) bool {
+	cmp := c.eval(asn).Cmp(c.rhs)
+	switch c.op {
+	case opLE:
+		return cmp <= 0
+	case opLT:
+		return cmp < 0
+	case opEQ:
+		return cmp == 0
+	case opNE:
+		return cmp != 0
+	}
+	return false
+}
+
+// linearize converts a numeric smt expression into Σ coeff·x + constant.
+// It returns false if the expression is outside the linear fragment.
+func linearize(e smt.Expr, scale *big.Rat, coeffs map[string]*big.Rat, konst *big.Rat) bool {
+	switch t := e.(type) {
+	case smt.IntConst:
+		konst.Add(konst, new(big.Rat).Mul(scale, new(big.Rat).SetInt64(t.V)))
+		return true
+	case smt.RealConst:
+		konst.Add(konst, new(big.Rat).Mul(scale, t.V))
+		return true
+	case smt.Var:
+		if cur, ok := coeffs[t.Name]; ok {
+			cur.Add(cur, scale)
+			if cur.Sign() == 0 {
+				delete(coeffs, t.Name)
+			}
+		} else if scale.Sign() != 0 {
+			coeffs[t.Name] = new(big.Rat).Set(scale)
+		}
+		return true
+	case *smt.Arith:
+		switch t.Op {
+		case smt.OpAdd:
+			return linearize(t.L, scale, coeffs, konst) && linearize(t.R, scale, coeffs, konst)
+		case smt.OpSub:
+			neg := new(big.Rat).Neg(scale)
+			return linearize(t.L, scale, coeffs, konst) && linearize(t.R, neg, coeffs, konst)
+		case smt.OpNeg:
+			neg := new(big.Rat).Neg(scale)
+			return linearize(t.L, neg, coeffs, konst)
+		case smt.OpMul:
+			if k, ok := constRat(t.L); ok {
+				return linearize(t.R, new(big.Rat).Mul(scale, k), coeffs, konst)
+			}
+			if k, ok := constRat(t.R); ok {
+				return linearize(t.L, new(big.Rat).Mul(scale, k), coeffs, konst)
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func constRat(e smt.Expr) (*big.Rat, bool) {
+	switch t := e.(type) {
+	case smt.IntConst:
+		return new(big.Rat).SetInt64(t.V), true
+	case smt.RealConst:
+		return new(big.Rat).Set(t.V), true
+	}
+	return nil, false
+}
+
+// allHold reports whether every constraint holds under the assignment
+// (missing variables evaluate as 0).
+func allHold(cons []*linCon, asn map[string]*big.Rat) bool {
+	for _, c := range cons {
+		if !c.holds(asn) {
+			return false
+		}
+	}
+	return true
+}
+
+// linStatus is the outcome of a theory check.
+type linStatus uint8
+
+const (
+	linSAT linStatus = iota
+	linUNSAT
+	linUNKNOWN
+)
+
+// fmLimits bound the work of one theory call so pathological inputs yield
+// UNKNOWN instead of hanging (the paper treats Z3 timeouts the same way).
+type fmLimits struct {
+	maxConstraints int
+	maxNEBranch    int
+	maxIntDepth    int
+}
+
+func defaultFMLimits() fmLimits {
+	return fmLimits{maxConstraints: 200000, maxNEBranch: 24, maxIntDepth: 64}
+}
+
+// solveLinear decides the conjunction of constraints and, when satisfiable,
+// returns an assignment. intVars lists variables that must take integral
+// values.
+func solveLinear(cons []*linCon, intVars map[string]bool, lim fmLimits) (map[string]*big.Rat, linStatus) {
+	return solveNE(cons, intVars, lim, lim.maxNEBranch)
+}
+
+// solveNE handles disequalities lazily: solve the relaxation without
+// them, and only case-split a disequality the relaxed model violates.
+// Executions rarely pin values onto their excluded points, so this
+// typically costs zero splits instead of 2^|NE|.
+func solveNE(cons []*linCon, intVars map[string]bool, lim fmLimits, neBudget int) (map[string]*big.Rat, linStatus) {
+	var nes, rest []*linCon
+	for _, c := range cons {
+		if c.op == opNE {
+			nes = append(nes, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	m, st := solveIntBB(rest, intVars, lim, lim.maxIntDepth)
+	if st != linSAT {
+		return nil, st
+	}
+	violated := -1
+	for i, ne := range nes {
+		if !ne.holds(m) {
+			violated = i
+			break
+		}
+	}
+	if violated < 0 {
+		return m, linSAT
+	}
+	if neBudget <= 0 {
+		return nil, linUNKNOWN
+	}
+	ne := nes[violated]
+	keep := make([]*linCon, 0, len(cons)-1)
+	keep = append(keep, rest...)
+	for i, other := range nes {
+		if i != violated {
+			keep = append(keep, other)
+		}
+	}
+	unknown := false
+	for _, side := range []bool{true, false} { // lhs < rhs, then lhs > rhs
+		b := ne.clone()
+		b.op = opLT
+		if !side { // lhs > rhs  ⇔  -lhs < -rhs
+			for _, v := range b.coeffs {
+				v.Neg(v)
+			}
+			b.rhs.Neg(b.rhs)
+		}
+		m2, st2 := solveNE(append(cloneCons(keep), b), intVars, lim, neBudget-1)
+		switch st2 {
+		case linSAT:
+			return m2, linSAT
+		case linUNKNOWN:
+			unknown = true
+		}
+	}
+	if unknown {
+		return nil, linUNKNOWN
+	}
+	return nil, linUNSAT
+}
+
+// solveIntBB solves the rational relaxation and repairs fractional values
+// of integer variables by branch and bound.
+func solveIntBB(cons []*linCon, intVars map[string]bool, lim fmLimits, depth int) (map[string]*big.Rat, linStatus) {
+	m, st := solveRational(cons, lim)
+	if st != linSAT {
+		return nil, st
+	}
+	var fracVar string
+	var fracVal *big.Rat
+	// Deterministic choice of the fractional variable to branch on.
+	names := make([]string, 0, len(m))
+	for x := range m {
+		names = append(names, x)
+	}
+	sort.Strings(names)
+	for _, x := range names {
+		if intVars[x] && !m[x].IsInt() {
+			fracVar, fracVal = x, m[x]
+			break
+		}
+	}
+	if fracVar == "" {
+		return m, linSAT
+	}
+	if depth <= 0 {
+		return nil, linUNKNOWN
+	}
+	floor := ratFloor(fracVal)
+	unknown := false
+	// Branch x <= floor(v).
+	le := newLinCon(opLE)
+	le.coeffs[fracVar] = big.NewRat(1, 1)
+	le.rhs.Set(floor)
+	if m2, st := solveIntBB(append(cloneCons(cons), le), intVars, lim, depth-1); st == linSAT {
+		return m2, linSAT
+	} else if st == linUNKNOWN {
+		unknown = true
+	}
+	// Branch x >= floor(v)+1  ⇔  -x <= -(floor+1).
+	ge := newLinCon(opLE)
+	ge.coeffs[fracVar] = big.NewRat(-1, 1)
+	ge.rhs.Neg(new(big.Rat).Add(floor, big.NewRat(1, 1)))
+	if m2, st := solveIntBB(append(cloneCons(cons), ge), intVars, lim, depth-1); st == linSAT {
+		return m2, linSAT
+	} else if st == linUNKNOWN {
+		unknown = true
+	}
+	if unknown {
+		return nil, linUNKNOWN
+	}
+	return nil, linUNSAT
+}
+
+func cloneCons(cons []*linCon) []*linCon {
+	out := make([]*linCon, len(cons))
+	copy(out, cons)
+	return out
+}
+
+func ratFloor(r *big.Rat) *big.Rat {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetInt(q)
+}
+
+// elimRecord remembers how a variable was eliminated so its value can be
+// recovered by back-substitution.
+type elimRecord struct {
+	x string
+	// For Gaussian elimination of x via an equality: x = expr.
+	eqExpr *linCon // interpretation: x = Σ coeffs·y + rhs
+	gauss  bool
+	bounds []*linCon // for FM: original constraints involving x
+}
+
+// solveRational runs Gaussian + Fourier–Motzkin elimination over Q.
+func solveRational(cons []*linCon, lim fmLimits) (map[string]*big.Rat, linStatus) {
+	work := make([]*linCon, 0, len(cons))
+	for _, c := range cons {
+		work = append(work, c.clone())
+	}
+	var elims []elimRecord
+
+	// Phase 1: substitute away equalities.
+	for {
+		eqIdx := -1
+		for i, c := range work {
+			if c.op == opEQ && len(c.coeffs) > 0 {
+				eqIdx = i
+				break
+			}
+		}
+		if eqIdx < 0 {
+			break
+		}
+		eq := work[eqIdx]
+		x := pickVar(eq.coeffs)
+		a := eq.coeffs[x]
+		// x = (rhs - Σ other coeffs·y) / a
+		expr := newLinCon(opEQ)
+		expr.rhs = new(big.Rat).Quo(eq.rhs, a)
+		for y, co := range eq.coeffs {
+			if y == x {
+				continue
+			}
+			q := new(big.Rat).Quo(co, a)
+			q.Neg(q)
+			expr.coeffs[y] = q
+		}
+		elims = append(elims, elimRecord{x: x, eqExpr: expr, gauss: true})
+		work = append(work[:eqIdx], work[eqIdx+1:]...)
+		for _, c := range work {
+			substVar(c, x, expr)
+		}
+	}
+
+	// Phase 2: Fourier–Motzkin on inequalities.
+	for {
+		x := pickElimVar(work)
+		if x == "" {
+			break
+		}
+		var lowers, uppers, rest []*linCon
+		var involved []*linCon
+		for _, c := range work {
+			co, ok := c.coeffs[x]
+			if !ok {
+				rest = append(rest, c)
+				continue
+			}
+			involved = append(involved, c)
+			if co.Sign() > 0 {
+				uppers = append(uppers, c) // a·x + e op b with a>0 → x ≤ (b-e)/a
+			} else {
+				lowers = append(lowers, c)
+			}
+		}
+		for _, lo := range lowers {
+			for _, hi := range uppers {
+				nc := combineFM(lo, hi, x)
+				if len(nc.coeffs) == 0 {
+					if !constHolds(nc) {
+						return nil, linUNSAT
+					}
+					continue
+				}
+				rest = append(rest, nc)
+			}
+		}
+		if len(rest) > lim.maxConstraints {
+			return nil, linUNKNOWN
+		}
+		elims = append(elims, elimRecord{x: x, bounds: involved})
+		work = rest
+	}
+
+	// Only constant constraints remain.
+	for _, c := range work {
+		if len(c.coeffs) == 0 && !constHolds(c) {
+			return nil, linUNSAT
+		}
+	}
+
+	// Back-substitution, newest elimination first.
+	asn := map[string]*big.Rat{}
+	for i := len(elims) - 1; i >= 0; i-- {
+		rec := elims[i]
+		if rec.gauss {
+			v := rec.eqExpr.eval(asn)
+			v.Add(v, rec.eqExpr.rhs)
+			asn[rec.x] = v
+			continue
+		}
+		v, ok := pickWithinBounds(rec.x, rec.bounds, asn)
+		if !ok {
+			// Should not happen if FM was performed correctly.
+			return nil, linUNKNOWN
+		}
+		asn[rec.x] = v
+	}
+	return asn, linSAT
+}
+
+func pickVar(coeffs map[string]*big.Rat) string {
+	best := ""
+	for x := range coeffs {
+		if best == "" || x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// pickElimVar picks the variable occurring in the fewest constraints to
+// bound the quadratic growth of FM.
+func pickElimVar(cons []*linCon) string {
+	count := map[string]int{}
+	for _, c := range cons {
+		for x := range c.coeffs {
+			count[x]++
+		}
+	}
+	best, bestN := "", -1
+	for x, n := range count {
+		if bestN == -1 || n < bestN || (n == bestN && x < best) {
+			best, bestN = x, n
+		}
+	}
+	return best
+}
+
+// combineFM resolves a lower-bound and an upper-bound constraint on x into
+// one constraint without x.
+func combineFM(lo, hi *linCon, x string) *linCon {
+	// lo: a·x + e1 op1 b1 with a<0  →  (e1-b1)/(-a) ≤ x  (strict if op1==LT)
+	// hi: c·x + e2 op2 b2 with c>0  →  x ≤ (b2-e2)/c
+	// Combined: (e1-b1)/(-a) OP (b2-e2)/c
+	a := new(big.Rat).Neg(lo.coeffs[x]) // a > 0
+	c := new(big.Rat).Set(hi.coeffs[x]) // c > 0
+	op := opLE
+	if lo.op == opLT || hi.op == opLT {
+		op = opLT
+	}
+	// c·(e1-b1) OP a·(b2-e2)  →  c·e1 + a·e2 OP c·b1 + a·b2
+	nc := newLinCon(op)
+	for y, co := range lo.coeffs {
+		if y == x {
+			continue
+		}
+		nc.addTerm(y, new(big.Rat).Mul(c, co))
+	}
+	for y, co := range hi.coeffs {
+		if y == x {
+			continue
+		}
+		nc.addTerm(y, new(big.Rat).Mul(a, co))
+	}
+	nc.rhs.Add(new(big.Rat).Mul(c, lo.rhs), new(big.Rat).Mul(a, hi.rhs))
+	return nc
+}
+
+func constHolds(c *linCon) bool {
+	zero := new(big.Rat)
+	switch c.op {
+	case opLE:
+		return zero.Cmp(c.rhs) <= 0
+	case opLT:
+		return zero.Cmp(c.rhs) < 0
+	case opEQ:
+		return zero.Cmp(c.rhs) == 0
+	case opNE:
+		return zero.Cmp(c.rhs) != 0
+	}
+	return false
+}
+
+// substVar replaces x in c with expr (x = Σ coeffs·y + rhs).
+func substVar(c *linCon, x string, expr *linCon) {
+	co, ok := c.coeffs[x]
+	if !ok {
+		return
+	}
+	delete(c.coeffs, x)
+	for y, e := range expr.coeffs {
+		c.addTerm(y, new(big.Rat).Mul(co, e))
+	}
+	// co·rhs moves to the right-hand side with opposite sign... it is part
+	// of the lhs constant: lhs + co·exprRhs op rhs  →  lhs op rhs - co·exprRhs
+	c.rhs.Sub(c.rhs, new(big.Rat).Mul(co, expr.rhs))
+}
+
+// pickWithinBounds chooses a value for x satisfying every constraint in
+// bounds given the already-fixed assignment of the other variables. It
+// prefers integral values.
+func pickWithinBounds(x string, bounds []*linCon, asn map[string]*big.Rat) (*big.Rat, bool) {
+	var lo, hi *big.Rat
+	loStrict, hiStrict := false, false
+	for _, c := range bounds {
+		a := c.coeffs[x]
+		// a·x + Σ other ≤/<= rhs  →  x ≤ (rhs - other)/a for a>0
+		other := new(big.Rat)
+		for y, co := range c.coeffs {
+			if y == x {
+				continue
+			}
+			v, ok := asn[y]
+			if !ok {
+				v = new(big.Rat)
+			}
+			other.Add(other, new(big.Rat).Mul(co, v))
+		}
+		bound := new(big.Rat).Sub(c.rhs, other)
+		bound.Quo(bound, a)
+		strict := c.op == opLT
+		if a.Sign() > 0 { // upper bound
+			if hi == nil || bound.Cmp(hi) < 0 || (bound.Cmp(hi) == 0 && strict) {
+				hi, hiStrict = bound, strict
+			}
+		} else { // lower bound (inequality flips)
+			if lo == nil || bound.Cmp(lo) > 0 || (bound.Cmp(lo) == 0 && strict) {
+				lo, loStrict = bound, strict
+			}
+		}
+	}
+	return chooseInInterval(lo, loStrict, hi, hiStrict)
+}
+
+// chooseInInterval picks a value in the (possibly open) interval, favoring
+// integers, then simple rationals.
+func chooseInInterval(lo *big.Rat, loStrict bool, hi *big.Rat, hiStrict bool) (*big.Rat, bool) {
+	one := big.NewRat(1, 1)
+	switch {
+	case lo == nil && hi == nil:
+		return new(big.Rat), true
+	case lo == nil:
+		v := ratFloor(hi)
+		if hiStrict && v.Cmp(hi) == 0 {
+			v.Sub(v, one)
+		}
+		return v, true
+	case hi == nil:
+		v := ratCeil(lo)
+		if loStrict && v.Cmp(lo) == 0 {
+			v.Add(v, one)
+		}
+		return v, true
+	}
+	cmp := lo.Cmp(hi)
+	if cmp > 0 || (cmp == 0 && (loStrict || hiStrict)) {
+		return nil, false
+	}
+	// Try the smallest integer in the interval.
+	v := ratCeil(lo)
+	if loStrict && v.Cmp(lo) == 0 {
+		v.Add(v, one)
+	}
+	if c := v.Cmp(hi); c < 0 || (c == 0 && !hiStrict) {
+		return v, true
+	}
+	// No integer fits: midpoint.
+	mid := new(big.Rat).Add(lo, hi)
+	mid.Quo(mid, big.NewRat(2, 1))
+	return mid, true
+}
+
+func ratCeil(r *big.Rat) *big.Rat {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() > 0 && !r.IsInt() {
+		q.Add(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetInt(q)
+}

@@ -1,0 +1,658 @@
+// Package solver implements the SMT solver WeSEER uses in place of Z3
+// (the paper uses Z3 4.8.14). It decides the logic fragment the deadlock
+// analyzer emits — Boolean combinations of linear Int/Real comparisons,
+// string (dis)equality, and reads over Boolean container arrays — via a
+// lazy DPLL(T) loop: a propositional search over the Tseitin-encoded
+// Boolean skeleton, with full assignments checked against the arithmetic
+// and string theories. On SAT it returns a verified model (the satisfying
+// assignment WeSEER's reports use to reproduce a deadlock); every model is
+// re-checked by evaluation before being returned.
+package solver
+
+import (
+	"fmt"
+	"math/big"
+
+	"weseer/internal/smt"
+)
+
+// Status is the outcome of a Solve call, mirroring SAT / UNSAT / timeout
+// outcomes of the paper's Z3 usage.
+type Status uint8
+
+// Solver outcomes.
+const (
+	SAT Status = iota
+	UNSAT
+	UNKNOWN
+)
+
+func (s Status) String() string {
+	switch s {
+	case SAT:
+		return "SAT"
+	case UNSAT:
+		return "UNSAT"
+	case UNKNOWN:
+		return "UNKNOWN"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Stats reports work done by one Solve call.
+type Stats struct {
+	Atoms       int
+	Clauses     int
+	Decisions   int
+	Conflicts   int
+	TheoryCalls int
+}
+
+// Result is the outcome of Solve. Model is non-nil exactly when Status is
+// SAT, and is guaranteed to satisfy the input formula (verified by
+// evaluation).
+type Result struct {
+	Status Status
+	Model  *smt.Model
+	Stats  Stats
+}
+
+// Limits bound solver work; zero values select defaults.
+type Limits struct {
+	// MaxTheoryCalls caps DPLL(T) iterations before giving up UNKNOWN.
+	MaxTheoryCalls int
+	// FM holds the arithmetic-theory limits.
+	FM fmLimits
+}
+
+func (l *Limits) setDefaults() {
+	if l.MaxTheoryCalls == 0 {
+		l.MaxTheoryCalls = 20000
+	}
+	if l.FM.maxConstraints == 0 {
+		l.FM = defaultFMLimits()
+	}
+}
+
+// Solve decides f.
+func Solve(f smt.Expr) Result { return SolveLimits(f, Limits{}) }
+
+// SolveLimits decides f under explicit resource limits.
+func SolveLimits(f smt.Expr, lim Limits) Result {
+	lim.setDefaults()
+	s := &session{lim: lim, atomByKey: map[string]int{}, intVars: map[string]bool{}}
+	f = smt.Simplify(f)
+	for name, sort := range smt.VarSet(f) {
+		if sort == smt.SortInt {
+			s.intVars[name] = true
+		}
+	}
+	f = expandSelects(f)
+
+	if c, ok := f.(smt.BoolConst); ok {
+		if c.B {
+			return Result{Status: SAT, Model: smt.NewModel()}
+		}
+		return Result{Status: UNSAT}
+	}
+
+	root, ok := s.nnf(f, true)
+	if !ok {
+		return Result{Status: UNKNOWN, Stats: s.stats}
+	}
+	s.ackermann()
+
+	b := &cnfBuilder{numVars: len(s.atoms)}
+	b.clauses = append(b.clauses, s.extraClauses...)
+	rootLit, isConst, constVal := b.tseitin(root)
+	if isConst {
+		if constVal {
+			return Result{Status: SAT, Model: smt.NewModel(), Stats: s.stats}
+		}
+		return Result{Status: UNSAT, Stats: s.stats}
+	}
+	b.addClause(rootLit)
+	s.stats.Atoms = len(s.atoms)
+	s.stats.Clauses = len(b.clauses)
+
+	d := newDPLL(b.numVars, b.clauses, &s.stats)
+	atomVars := make([]int, len(s.atoms))
+	for i := range atomVars {
+		atomVars[i] = i
+	}
+
+	// DPLL(T): propagate, theory-check the partial assignment (learning a
+	// shrunken unsat core on conflict), decide, repeat. At a full
+	// assignment the theory model is verified against the input formula.
+	sawUnknown := false
+	exhausted := func() Result {
+		if sawUnknown {
+			return Result{Status: UNKNOWN, Stats: s.stats}
+		}
+		return Result{Status: UNSAT, Stats: s.stats}
+	}
+	for s.stats.TheoryCalls < lim.MaxTheoryCalls {
+		if !d.propagate() {
+			d.stats.Conflicts++
+			if !d.backtrack() {
+				return exhausted()
+			}
+			continue
+		}
+		s.stats.TheoryCalls++
+		model, st, core := s.theoryCheck(d)
+		if st == linUNSAT {
+			// Learn the negation of the (shrunken) conflicting core and
+			// let propagation drive the backtrack.
+			cl := make([]lit, 0, len(core))
+			for _, id := range core {
+				cl = append(cl, mkLit(id, d.assign[id] == 1))
+			}
+			d.clauses = append(d.clauses, cl)
+			continue
+		}
+		pick := d.pickUnassigned()
+		if pick == -1 {
+			// Full assignment with a consistent theory.
+			if st == linSAT && smt.Eval(f, model).B {
+				return Result{Status: SAT, Model: model, Stats: s.stats}
+			}
+			// UNKNOWN theory or (defensively) failed verification: block
+			// this complete assignment and move on.
+			sawUnknown = true
+			if !d.block(atomVars) {
+				return exhausted()
+			}
+			continue
+		}
+		d.decide(pick, s.preferredPhase(pick))
+	}
+	return Result{Status: UNKNOWN, Stats: s.stats}
+}
+
+// ---------------------------------------------------------------------------
+// Atomization
+
+type atomKind uint8
+
+const (
+	aLin atomKind = iota
+	aStr
+	aBool
+	aSel
+)
+
+type atomInfo struct {
+	kind atomKind
+	lin  *linCon // for aLin; op ∈ {opLE, opLT, opEQ}
+	l, r strTerm // for aStr (always an equality atom)
+	name string  // for aBool
+	root string  // for aSel
+	key  smt.Expr
+}
+
+type session struct {
+	lim          Limits
+	atoms        []atomInfo
+	atomByKey    map[string]int
+	intVars      map[string]bool
+	selAtoms     []int // indices of aSel atoms
+	extraClauses [][]lit
+	stats        Stats
+	// lastAsn caches the most recent satisfying arithmetic assignment;
+	// successive theory checks mostly extend a consistent partial
+	// assignment, so re-evaluating the cached model avoids a full
+	// Fourier–Motzkin run on the (common) still-satisfied path.
+	lastAsn map[string]*big.Rat
+}
+
+func (s *session) intern(key string, info atomInfo) int {
+	if id, ok := s.atomByKey[key]; ok {
+		return id
+	}
+	id := len(s.atoms)
+	s.atoms = append(s.atoms, info)
+	s.atomByKey[key] = id
+	if info.kind == aSel {
+		s.selAtoms = append(s.selAtoms, id)
+	}
+	return id
+}
+
+// nnf converts e (under polarity pos) into a pnode tree, atomizing leaves.
+// It returns ok=false when e falls outside the solvable fragment.
+func (s *session) nnf(e smt.Expr, pos bool) (*pnode, bool) {
+	switch t := e.(type) {
+	case smt.BoolConst:
+		return &pnode{kind: pConst, b: t.B == pos}, true
+	case smt.Var:
+		if t.S != smt.SortBool {
+			return nil, false
+		}
+		id := s.intern("bool:"+t.Name, atomInfo{kind: aBool, name: t.Name})
+		return &pnode{kind: pLit, lit: mkLit(id, !pos)}, true
+	case smt.Not:
+		return s.nnf(t.X, !pos)
+	case *smt.NAry:
+		kind := pAnd
+		if t.Conj != pos {
+			kind = pOr
+		}
+		n := &pnode{kind: kind}
+		for _, x := range t.Xs {
+			k, ok := s.nnf(x, pos)
+			if !ok {
+				return nil, false
+			}
+			n.kids = append(n.kids, k)
+		}
+		return n, true
+	case *smt.Select:
+		if t.Arr.Parent != nil {
+			// expandSelects should have removed non-root selects.
+			return nil, false
+		}
+		key := fmt.Sprintf("sel:%s|%s", t.Arr.ID, t.Key)
+		id := s.intern(key, atomInfo{kind: aSel, root: t.Arr.ID, key: t.Key})
+		return &pnode{kind: pLit, lit: mkLit(id, !pos)}, true
+	case *smt.Cmp:
+		return s.nnfCmp(t, pos)
+	}
+	return nil, false
+}
+
+func (s *session) nnfCmp(c *smt.Cmp, pos bool) (*pnode, bool) {
+	switch c.L.Sort() {
+	case smt.SortBool:
+		// a = b  ⇔  (a ∧ b) ∨ (¬a ∧ ¬b); a != b is its negation.
+		eq := smt.Or(smt.And(c.L, c.R), smt.And(smt.Negate(c.L), smt.Negate(c.R)))
+		if c.Op == smt.NE {
+			pos = !pos
+		}
+		return s.nnf(eq, pos)
+	case smt.SortString:
+		lt, ok1 := strTermOf(c.L)
+		rt, ok2 := strTermOf(c.R)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		// Canonical order for interning.
+		a, b := lt, rt
+		if b.key() < a.key() {
+			a, b = b, a
+		}
+		id := s.intern("str:"+a.key()+"="+b.key(), atomInfo{kind: aStr, l: a, r: b})
+		neg := c.Op == smt.NE
+		return &pnode{kind: pLit, lit: mkLit(id, neg == pos)}, true
+	default:
+		return s.nnfNum(c, pos)
+	}
+}
+
+func strTermOf(e smt.Expr) (strTerm, bool) {
+	switch t := e.(type) {
+	case smt.StrConst:
+		return strTerm{isConst: true, s: t.S}, true
+	case smt.Var:
+		return strTerm{s: t.Name}, true
+	}
+	return strTerm{}, false
+}
+
+// nnfNum atomizes a numeric comparison into a canonical linear atom.
+func (s *session) nnfNum(c *smt.Cmp, pos bool) (*pnode, bool) {
+	coeffs := map[string]*big.Rat{}
+	konst := new(big.Rat)
+	if !linearize(c.L, big.NewRat(1, 1), coeffs, konst) {
+		return nil, false
+	}
+	if !linearize(c.R, big.NewRat(-1, 1), coeffs, konst) {
+		return nil, false
+	}
+	// Now: Σ coeffs·x + konst  op  0  ⇔  Σ coeffs·x  op  -konst.
+	rhs := new(big.Rat).Neg(konst)
+	op := c.Op
+	neg := false
+	switch op {
+	case smt.GT: // Σ > rhs ⇔ -Σ < -rhs
+		negateLin(coeffs, rhs)
+		op = smt.LT
+	case smt.GE:
+		negateLin(coeffs, rhs)
+		op = smt.LE
+	case smt.NE:
+		op = smt.EQ
+		neg = true
+	}
+	if len(coeffs) == 0 {
+		zero := new(big.Rat)
+		var truth bool
+		switch op {
+		case smt.LT:
+			truth = zero.Cmp(rhs) < 0
+		case smt.LE:
+			truth = zero.Cmp(rhs) <= 0
+		case smt.EQ:
+			truth = zero.Cmp(rhs) == 0
+		}
+		return &pnode{kind: pConst, b: (truth != neg) == pos}, true
+	}
+	lc := newLinCon(opLE)
+	switch op {
+	case smt.LT:
+		lc.op = opLT
+	case smt.EQ:
+		lc.op = opEQ
+		// Canonical sign for equalities: coefficient of the smallest
+		// variable name is positive.
+		x := pickVar(coeffs)
+		if coeffs[x].Sign() < 0 {
+			negateLin(coeffs, rhs)
+		}
+	}
+	// Scale so the smallest variable's coefficient has magnitude 1.
+	x := pickVar(coeffs)
+	scale := new(big.Rat).Abs(coeffs[x])
+	inv := new(big.Rat).Inv(scale)
+	for _, v := range coeffs {
+		v.Mul(v, inv)
+	}
+	rhs.Mul(rhs, inv)
+	lc.coeffs = coeffs
+	lc.rhs = rhs
+	id := s.intern("lin:"+linKey(lc), atomInfo{kind: aLin, lin: lc})
+	return &pnode{kind: pLit, lit: mkLit(id, neg == pos)}, true
+}
+
+func negateLin(coeffs map[string]*big.Rat, rhs *big.Rat) {
+	for _, v := range coeffs {
+		v.Neg(v)
+	}
+	rhs.Neg(rhs)
+}
+
+func linKey(c *linCon) string {
+	names := make([]string, 0, len(c.coeffs))
+	for x := range c.coeffs {
+		names = append(names, x)
+	}
+	sortStrings(names)
+	out := ""
+	for _, x := range names {
+		out += c.coeffs[x].RatString() + "*" + x + "+"
+	}
+	switch c.op {
+	case opLE:
+		out += "<="
+	case opLT:
+		out += "<"
+	case opEQ:
+		out += "="
+	}
+	return out + c.rhs.RatString()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ackermann adds congruence clauses for every pair of select atoms over
+// the same root array: (k1 = k2) → (s1 ↔ s2).
+func (s *session) ackermann() {
+	for i := 0; i < len(s.selAtoms); i++ {
+		for j := i + 1; j < len(s.selAtoms); j++ {
+			ai, aj := s.atoms[s.selAtoms[i]], s.atoms[s.selAtoms[j]]
+			if ai.root != aj.root {
+				continue
+			}
+			si := mkLit(s.selAtoms[i], false)
+			sj := mkLit(s.selAtoms[j], false)
+			if ai.key.String() == aj.key.String() {
+				// Syntactically identical keys: s_i ↔ s_j outright.
+				s.extraClauses = append(s.extraClauses,
+					[]lit{si.negate(), sj}, []lit{si, sj.negate()})
+				continue
+			}
+			if smt.IsConst(ai.key) && smt.IsConst(aj.key) {
+				if !smt.Eval(ai.key, nil).Equal(smt.Eval(aj.key, nil)) {
+					continue // provably distinct keys: independent
+				}
+				s.extraClauses = append(s.extraClauses,
+					[]lit{si.negate(), sj}, []lit{si, sj.negate()})
+				continue
+			}
+			eqNode, ok := s.nnf(smt.Eq(ai.key, aj.key), true)
+			if !ok || eqNode.kind != pLit {
+				continue
+			}
+			eq := eqNode.lit
+			s.extraClauses = append(s.extraClauses,
+				[]lit{eq.negate(), si.negate(), sj},
+				[]lit{eq.negate(), si, sj.negate()})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Theory integration
+
+// theoryCheck validates the (possibly partial) DPLL assignment against
+// the arithmetic and string theories. On inconsistency it returns a
+// shrunken unsat core of atom ids; on full consistency it constructs a
+// model.
+func (s *session) theoryCheck(d *dpll) (*smt.Model, linStatus, []int) {
+	var linIDs, strIDs []int
+	for id, info := range s.atoms {
+		if d.assign[id] == 0 {
+			continue
+		}
+		switch info.kind {
+		case aLin:
+			linIDs = append(linIDs, id)
+		case aStr:
+			strIDs = append(strIDs, id)
+		}
+	}
+	strCons := func(ids []int) []strConstraint {
+		out := make([]strConstraint, 0, len(ids))
+		for _, id := range ids {
+			info := s.atoms[id]
+			out = append(out, strConstraint{l: info.l, r: info.r, eq: d.assign[id] == 1})
+		}
+		return out
+	}
+	linCons := func(ids []int) []*linCon {
+		out := make([]*linCon, 0, len(ids))
+		for _, id := range ids {
+			lc := s.atoms[id].lin.clone()
+			if d.assign[id] != 1 {
+				switch lc.op {
+				case opLE: // ¬(e ≤ b) ⇔ -e < -b
+					negateLin(lc.coeffs, lc.rhs)
+					lc.op = opLT
+				case opLT: // ¬(e < b) ⇔ -e ≤ -b
+					negateLin(lc.coeffs, lc.rhs)
+					lc.op = opLE
+				case opEQ:
+					lc.op = opNE
+				}
+			}
+			out = append(out, lc)
+		}
+		return out
+	}
+
+	strAsn, ok := solveStrings(strCons(strIDs))
+	if !ok {
+		core := shrinkCore(strIDs, func(ids []int) bool {
+			_, ok := solveStrings(strCons(ids))
+			return !ok
+		})
+		return nil, linUNSAT, core
+	}
+	cons := linCons(linIDs)
+	var numAsn map[string]*big.Rat
+	if s.lastAsn != nil && allHold(cons, s.lastAsn) {
+		numAsn = s.lastAsn
+	} else {
+		var st linStatus
+		numAsn, st = solveLinear(cons, s.intVars, s.lim.FM)
+		if st == linUNSAT {
+			// Shrink the core against the rational relaxation (drop NE
+			// constraints, skip branch-and-bound): relaxation-UNSAT
+			// implies full-UNSAT, and the relaxed test is much cheaper.
+			relaxedUnsat := func(ids []int) bool {
+				var keep []*linCon
+				for _, c := range linCons(ids) {
+					if c.op != opNE {
+						keep = append(keep, c)
+					}
+				}
+				_, st := solveRational(keep, s.lim.FM)
+				return st == linUNSAT
+			}
+			var core []int
+			if relaxedUnsat(linIDs) {
+				core = shrinkCore(linIDs, relaxedUnsat)
+			} else {
+				// The conflict needs NE or integrality reasoning; shrink
+				// with the full check under a tighter size cap.
+				core = shrinkCoreCapped(linIDs, 24, func(ids []int) bool {
+					_, st := solveLinear(linCons(ids), s.intVars, s.lim.FM)
+					return st == linUNSAT
+				})
+			}
+			return nil, linUNSAT, core
+		}
+		if st == linUNKNOWN {
+			return nil, linUNKNOWN, nil
+		}
+		s.lastAsn = numAsn
+	}
+	if d.pickUnassigned() != -1 {
+		// Partial assignment: consistent so far; no model needed yet.
+		return nil, linSAT, nil
+	}
+
+	m := smt.NewModel()
+	for x, v := range numAsn {
+		if s.intVars[x] {
+			if !v.IsInt() {
+				return nil, linUNKNOWN, nil
+			}
+			m.Vars[x] = smt.IntValue(v.Num().Int64())
+		} else {
+			m.Vars[x] = smt.RealValue(v)
+		}
+	}
+	for x, v := range strAsn {
+		m.Vars[x] = smt.StrValue(v)
+	}
+	for id, info := range s.atoms {
+		if info.kind != aBool || d.assign[id] == 0 {
+			continue
+		}
+		m.Vars[info.name] = smt.BoolValue(d.assign[id] == 1)
+	}
+	for _, id := range s.selAtoms {
+		if d.assign[id] != 1 {
+			continue // absent keys default to false
+		}
+		info := s.atoms[id]
+		kv := smt.Eval(info.key, m)
+		ent := m.Arrays[info.root]
+		if ent == nil {
+			ent = map[string]bool{}
+			m.Arrays[info.root] = ent
+		}
+		ent[kv.String()] = true
+	}
+	return m, linSAT, nil
+}
+
+// preferredPhase proposes a decision polarity that agrees with the
+// cached arithmetic model, keeping most decisions theory-consistent so
+// the expensive Fourier–Motzkin path stays cold.
+func (s *session) preferredPhase(v int) bool {
+	if v >= len(s.atoms) {
+		return false // Tseitin auxiliary: no preference
+	}
+	info := s.atoms[v]
+	if info.kind == aLin && s.lastAsn != nil {
+		return info.lin.holds(s.lastAsn)
+	}
+	return false
+}
+
+// shrinkCore minimizes an inconsistent atom set by chunked deletion:
+// first drop whole halves while the remainder stays inconsistent, then
+// refine element-wise. Small cores become strong learned clauses.
+func shrinkCore(ids []int, stillUnsat func([]int) bool) []int {
+	return shrinkCoreCapped(ids, 192, stillUnsat)
+}
+
+func shrinkCoreCapped(ids []int, cap int, stillUnsat func([]int) bool) []int {
+	if len(ids) > cap {
+		return ids
+	}
+	core := append([]int(nil), ids...)
+	// Chunked pass: try dropping progressively smaller chunks.
+	for chunk := len(core) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(core) && len(core) > 1; {
+			cand := make([]int, 0, len(core)-chunk)
+			cand = append(cand, core[:start]...)
+			cand = append(cand, core[start+chunk:]...)
+			if stillUnsat(cand) {
+				core = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return core
+}
+
+// ---------------------------------------------------------------------------
+// Array expansion
+
+// expandSelects rewrites reads over store chains into Boolean structure so
+// only root-array reads remain: read(write(A,k,v), key) becomes
+// ite(key = k, v, read(A, key)).
+func expandSelects(e smt.Expr) smt.Expr {
+	switch t := e.(type) {
+	case *smt.Select:
+		return expandChain(t.Arr, t.Key)
+	case smt.Not:
+		return smt.Negate(expandSelects(t.X))
+	case *smt.NAry:
+		xs := make([]smt.Expr, len(t.Xs))
+		for i, x := range t.Xs {
+			xs[i] = expandSelects(x)
+		}
+		if t.Conj {
+			return smt.And(xs...)
+		}
+		return smt.Or(xs...)
+	case *smt.Cmp:
+		// Comparison operands are Int/Real/String terms and contain no
+		// selects in the supported fragment.
+		return t
+	}
+	return e
+}
+
+func expandChain(a *smt.Array, key smt.Expr) smt.Expr {
+	if a.Parent == nil {
+		return smt.Read(a, key)
+	}
+	rest := expandChain(a.Parent, key)
+	hit := smt.Eq(key, a.StoreKey)
+	if a.StoreVal {
+		return smt.Or(hit, smt.And(smt.Negate(hit), rest))
+	}
+	return smt.And(smt.Negate(hit), rest)
+}

@@ -1,0 +1,52 @@
+package sqlast
+
+// Normalize fills in omitted table qualifiers: a bare column reference in
+// a single-table statement (e.g. "UPDATE Product SET QTY=? WHERE ID=?")
+// resolves to that table's alias. Multi-table SELECTs must qualify every
+// column; Normalize leaves their bare references untouched for the
+// consumer to reject. Parse calls Normalize automatically.
+func Normalize(st Stmt) {
+	switch t := st.(type) {
+	case *Select:
+		if len(t.Joins) > 0 {
+			return
+		}
+		alias := t.From.Alias()
+		for i := range t.Cols {
+			if t.Cols[i].Table == "" {
+				t.Cols[i].Table = alias
+			}
+		}
+		qualifyCond(&t.Where, alias)
+	case *Update:
+		qualifyCond(&t.Where, t.Table)
+	case *Delete:
+		qualifyCond(&t.Where, t.Table)
+	}
+}
+
+func qualifyCond(c *Cond, alias string) {
+	for i := range c.Preds {
+		qualifyPred(&c.Preds[i], alias)
+	}
+	for gi := range c.Ors {
+		for di := range c.Ors[gi].Disjuncts {
+			for pi := range c.Ors[gi].Disjuncts[di] {
+				qualifyPred(&c.Ors[gi].Disjuncts[di][pi], alias)
+			}
+		}
+	}
+}
+
+func qualifyPred(p *Pred, alias string) {
+	qualifyOperand(&p.L, alias)
+	if !p.IsNull {
+		qualifyOperand(&p.R, alias)
+	}
+}
+
+func qualifyOperand(o *Operand, alias string) {
+	if o.Kind == Col && o.Table == "" {
+		o.Table = alias
+	}
+}

@@ -1,0 +1,147 @@
+package sqlast
+
+import (
+	"strings"
+)
+
+// This file renders statement templates back to SQL text. The output is
+// accepted by Parse, so printing and parsing round-trip.
+
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(s.Cols) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, c := range s.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	writeRef(&b, s.From)
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN ")
+		writeRef(&b, j.Ref)
+		b.WriteString(" ON ")
+		writePreds(&b, j.On)
+	}
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+func (u *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(u.Table)
+	b.WriteString(" SET ")
+	writeAssigns(&b, u.Set)
+	writeWhere(&b, u.Where)
+	return b.String()
+}
+
+func (i *Insert) String() string {
+	var b strings.Builder
+	writeInsert(&b, i)
+	return b.String()
+}
+
+func (u *Upsert) String() string {
+	var b strings.Builder
+	writeInsert(&b, &u.Insert)
+	b.WriteString(" ON DUPLICATE KEY UPDATE ")
+	writeAssigns(&b, u.OnDup)
+	return b.String()
+}
+
+func (d *Delete) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(d.Table)
+	writeWhere(&b, d.Where)
+	return b.String()
+}
+
+func writeInsert(b *strings.Builder, i *Insert) {
+	b.WriteString("INSERT INTO ")
+	b.WriteString(i.Table)
+	b.WriteString(" (")
+	b.WriteString(strings.Join(i.Columns, ", "))
+	b.WriteString(") VALUES (")
+	for k, v := range i.Values {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString(")")
+}
+
+func writeRef(b *strings.Builder, r TableRef) {
+	b.WriteString(r.Table)
+	if r.As != "" && r.As != r.Table {
+		b.WriteString(" ")
+		b.WriteString(r.As)
+	}
+}
+
+func writeAssigns(b *strings.Builder, as []Assign) {
+	for i, a := range as {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column)
+		b.WriteString(" = ")
+		b.WriteString(a.Value.String())
+	}
+}
+
+func writeWhere(b *strings.Builder, c Cond) {
+	if c.Empty() {
+		return
+	}
+	b.WriteString(" WHERE ")
+	writeCond(b, c)
+}
+
+func writeCond(b *strings.Builder, c Cond) {
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(" AND ")
+		}
+		first = false
+	}
+	for _, p := range c.Preds {
+		sep()
+		b.WriteString(p.String())
+	}
+	for _, g := range c.Ors {
+		sep()
+		b.WriteString("(")
+		for i, dj := range g.Disjuncts {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			if len(dj) > 1 {
+				b.WriteString("(")
+			}
+			writePreds(b, dj)
+			if len(dj) > 1 {
+				b.WriteString(")")
+			}
+		}
+		b.WriteString(")")
+	}
+}
+
+func writePreds(b *strings.Builder, ps []Pred) {
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.String())
+	}
+}

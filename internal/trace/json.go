@@ -1,0 +1,398 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+
+	"weseer/internal/minidb"
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+)
+
+// JSON serialization lets the CLI split collection ("weseer collect")
+// from analysis ("weseer analyze"): traces are written to disk and read
+// back with full symbolic structure.
+
+// ---------------------------------------------------------------------------
+// smt.Expr codec
+
+type exprJSON struct {
+	K    string      `json:"k"`
+	V    string      `json:"v,omitempty"`
+	B    bool        `json:"b,omitempty"`
+	Name string      `json:"name,omitempty"`
+	Sort smt.Sort    `json:"sort,omitempty"`
+	Op   uint8       `json:"op,omitempty"`
+	L    *exprJSON   `json:"l,omitempty"`
+	R    *exprJSON   `json:"r,omitempty"`
+	Xs   []*exprJSON `json:"xs,omitempty"`
+	Conj bool        `json:"conj,omitempty"`
+	Arr  *arrJSON    `json:"arr,omitempty"`
+	Key  *exprJSON   `json:"key,omitempty"`
+}
+
+type arrJSON struct {
+	ID      string      `json:"id"`
+	KeySort smt.Sort    `json:"keysort"`
+	Stores  []storeJSON `json:"stores,omitempty"` // root-first
+}
+
+type storeJSON struct {
+	Key *exprJSON `json:"key"`
+	Val bool      `json:"val"`
+}
+
+func encodeExpr(e smt.Expr) *exprJSON {
+	if e == nil {
+		return nil
+	}
+	switch t := e.(type) {
+	case smt.BoolConst:
+		return &exprJSON{K: "bool", B: t.B}
+	case smt.IntConst:
+		return &exprJSON{K: "int", V: fmt.Sprintf("%d", t.V)}
+	case smt.RealConst:
+		return &exprJSON{K: "real", V: t.V.RatString()}
+	case smt.StrConst:
+		return &exprJSON{K: "str", V: t.S}
+	case smt.Var:
+		return &exprJSON{K: "var", Name: t.Name, Sort: t.S}
+	case *smt.Arith:
+		return &exprJSON{K: "arith", Op: uint8(t.Op), L: encodeExpr(t.L), R: encodeExpr(t.R), Sort: t.S}
+	case *smt.Cmp:
+		return &exprJSON{K: "cmp", Op: uint8(t.Op), L: encodeExpr(t.L), R: encodeExpr(t.R)}
+	case *smt.NAry:
+		out := &exprJSON{K: "nary", Conj: t.Conj}
+		for _, x := range t.Xs {
+			out.Xs = append(out.Xs, encodeExpr(x))
+		}
+		return out
+	case smt.Not:
+		return &exprJSON{K: "not", L: encodeExpr(t.X)}
+	case *smt.Select:
+		return &exprJSON{K: "sel", Arr: encodeArr(t.Arr), Key: encodeExpr(t.Key)}
+	}
+	panic(fmt.Sprintf("trace: cannot encode expr %T", e))
+}
+
+func encodeArr(a *smt.Array) *arrJSON {
+	var chain []*smt.Array
+	for cur := a; cur != nil; cur = cur.Parent {
+		chain = append(chain, cur)
+	}
+	root := chain[len(chain)-1]
+	out := &arrJSON{ID: root.ID, KeySort: root.KeySort}
+	for i := len(chain) - 2; i >= 0; i-- {
+		out.Stores = append(out.Stores, storeJSON{Key: encodeExpr(chain[i].StoreKey), Val: chain[i].StoreVal})
+	}
+	return out
+}
+
+func decodeExpr(j *exprJSON) (smt.Expr, error) {
+	if j == nil {
+		return nil, nil
+	}
+	switch j.K {
+	case "bool":
+		return smt.Bool(j.B), nil
+	case "int":
+		var v int64
+		if _, err := fmt.Sscanf(j.V, "%d", &v); err != nil {
+			return nil, fmt.Errorf("trace: bad int %q", j.V)
+		}
+		return smt.Int(v), nil
+	case "real":
+		r, ok := new(big.Rat).SetString(j.V)
+		if !ok {
+			return nil, fmt.Errorf("trace: bad rational %q", j.V)
+		}
+		return smt.RealFromRat(r), nil
+	case "str":
+		return smt.Str(j.V), nil
+	case "var":
+		return smt.NewVar(j.Name, j.Sort), nil
+	case "arith":
+		l, err := decodeExpr(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(j.R)
+		if err != nil {
+			return nil, err
+		}
+		switch smt.ArithOp(j.Op) {
+		case smt.OpAdd:
+			return smt.Add(l, r), nil
+		case smt.OpSub:
+			return smt.Sub(l, r), nil
+		case smt.OpMul:
+			return smt.Mul(l, r), nil
+		case smt.OpNeg:
+			return smt.Neg(l), nil
+		}
+		return nil, fmt.Errorf("trace: bad arith op %d", j.Op)
+	case "cmp":
+		l, err := decodeExpr(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(j.R)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Compare(smt.CmpOp(j.Op), l, r), nil
+	case "nary":
+		xs := make([]smt.Expr, 0, len(j.Xs))
+		for _, x := range j.Xs {
+			e, err := decodeExpr(x)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, e)
+		}
+		if j.Conj {
+			return smt.And(xs...), nil
+		}
+		return smt.Or(xs...), nil
+	case "not":
+		x, err := decodeExpr(j.L)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Negate(x), nil
+	case "sel":
+		arr, err := decodeArr(j.Arr)
+		if err != nil {
+			return nil, err
+		}
+		key, err := decodeExpr(j.Key)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Read(arr, key), nil
+	}
+	return nil, fmt.Errorf("trace: unknown expr kind %q", j.K)
+}
+
+func decodeArr(j *arrJSON) (*smt.Array, error) {
+	a := smt.NewArray(j.ID, j.KeySort)
+	for _, s := range j.Stores {
+		k, err := decodeExpr(s.Key)
+		if err != nil {
+			return nil, err
+		}
+		a = a.Store(k, s.Val)
+	}
+	return a, nil
+}
+
+// ---------------------------------------------------------------------------
+// Datum codec
+
+type datumJSON struct {
+	Null bool   `json:"null,omitempty"`
+	Kind uint8  `json:"kind"`
+	V    string `json:"v,omitempty"`
+}
+
+func encodeDatum(d minidb.Datum) datumJSON {
+	j := datumJSON{Null: d.Null, Kind: uint8(d.Kind)}
+	if d.Null {
+		return j
+	}
+	switch d.Kind {
+	case minidb.KInt:
+		j.V = fmt.Sprintf("%d", d.I)
+	case minidb.KReal:
+		j.V = d.R.RatString()
+	case minidb.KStr:
+		j.V = d.S
+	}
+	return j
+}
+
+func decodeDatum(j datumJSON) (minidb.Datum, error) {
+	if j.Null {
+		return minidb.NullDatum(minidb.Kind(j.Kind)), nil
+	}
+	switch minidb.Kind(j.Kind) {
+	case minidb.KInt:
+		var v int64
+		if _, err := fmt.Sscanf(j.V, "%d", &v); err != nil {
+			return minidb.Datum{}, fmt.Errorf("trace: bad int datum %q", j.V)
+		}
+		return minidb.I64(v), nil
+	case minidb.KReal:
+		r, ok := new(big.Rat).SetString(j.V)
+		if !ok {
+			return minidb.Datum{}, fmt.Errorf("trace: bad real datum %q", j.V)
+		}
+		return minidb.Real(r), nil
+	case minidb.KStr:
+		return minidb.Str(j.V), nil
+	}
+	return minidb.Datum{}, fmt.Errorf("trace: bad datum kind %d", j.Kind)
+}
+
+// ---------------------------------------------------------------------------
+// Trace codec
+
+type traceJSON struct {
+	API       string    `json:"api"`
+	Inputs    []Input   `json:"inputs"`
+	Txns      []txnJSON `json:"txns"`
+	PathConds []pcJSON  `json:"path_conds"`
+	Stats     Stats     `json:"stats"`
+}
+
+type txnJSON struct {
+	ID        int        `json:"id"`
+	Committed bool       `json:"committed"`
+	Stmts     []stmtJSON `json:"stmts"`
+}
+
+type stmtJSON struct {
+	Seq     int         `json:"seq"`
+	TxnID   int         `json:"txn"`
+	SQL     string      `json:"sql"`
+	Params  []paramJSON `json:"params,omitempty"`
+	Res     *resJSON    `json:"res,omitempty"`
+	Plan    []PlanStep  `json:"plan,omitempty"`
+	Trigger CodeLoc     `json:"trigger"`
+	Sent    CodeLoc     `json:"sent"`
+}
+
+type paramJSON struct {
+	Sym      *exprJSON `json:"sym"`
+	Concrete datumJSON `json:"concrete"`
+}
+
+type resJSON struct {
+	Cols     []string      `json:"cols"`
+	Sym      [][]*exprJSON `json:"sym"`
+	Concrete [][]datumJSON `json:"concrete"`
+	Empty    bool          `json:"empty"`
+}
+
+type pcJSON struct {
+	AfterStmt int       `json:"after"`
+	Cond      *exprJSON `json:"cond"`
+	Loc       CodeLoc   `json:"loc"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	out := traceJSON{API: tr.API, Stats: tr.Stats}
+	for _, in := range tr.Inputs {
+		in.ConcreteStr = in.Concrete.String()
+		out.Inputs = append(out.Inputs, in)
+	}
+	for _, txn := range tr.Txns {
+		tj := txnJSON{ID: txn.ID, Committed: txn.Committed}
+		for _, st := range txn.Stmts {
+			sj := stmtJSON{Seq: st.Seq, TxnID: st.TxnID, SQL: st.SQL, Plan: st.Plan, Trigger: st.Trigger, Sent: st.Sent}
+			for _, p := range st.Params {
+				sj.Params = append(sj.Params, paramJSON{Sym: encodeExpr(p.Sym), Concrete: encodeDatum(p.Concrete)})
+			}
+			if st.Res != nil {
+				rj := &resJSON{Cols: st.Res.Cols, Empty: st.Res.Empty}
+				for _, row := range st.Res.Sym {
+					var r []*exprJSON
+					for _, v := range row {
+						r = append(r, encodeExpr(v))
+					}
+					rj.Sym = append(rj.Sym, r)
+				}
+				for _, row := range st.Res.Concrete {
+					var r []datumJSON
+					for _, d := range row {
+						r = append(r, encodeDatum(d))
+					}
+					rj.Concrete = append(rj.Concrete, r)
+				}
+				sj.Res = rj
+			}
+			tj.Stmts = append(tj.Stmts, sj)
+		}
+		out.Txns = append(out.Txns, tj)
+	}
+	for _, pc := range tr.PathConds {
+		out.PathConds = append(out.PathConds, pcJSON{AfterStmt: pc.AfterStmt, Cond: encodeExpr(pc.Cond), Loc: pc.Loc})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (tr *Trace) UnmarshalJSON(data []byte) error {
+	var in traceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	tr.API = in.API
+	tr.Stats = in.Stats
+	tr.Inputs = in.Inputs
+	tr.Txns = nil
+	tr.PathConds = nil
+	for _, tj := range in.Txns {
+		txn := &Txn{ID: tj.ID, Committed: tj.Committed}
+		for _, sj := range tj.Stmts {
+			parsed, err := sqlast.Parse(sj.SQL)
+			if err != nil {
+				return fmt.Errorf("trace: re-parsing %q: %w", sj.SQL, err)
+			}
+			st := &Stmt{Seq: sj.Seq, TxnID: sj.TxnID, SQL: sj.SQL, Parsed: parsed, Plan: sj.Plan, Trigger: sj.Trigger, Sent: sj.Sent}
+			for _, pj := range sj.Params {
+				sym, err := decodeExpr(pj.Sym)
+				if err != nil {
+					return err
+				}
+				d, err := decodeDatum(pj.Concrete)
+				if err != nil {
+					return err
+				}
+				st.Params = append(st.Params, Param{Sym: sym, Concrete: d})
+			}
+			if sj.Res != nil {
+				res := &Result{Cols: sj.Res.Cols, Empty: sj.Res.Empty}
+				for _, row := range sj.Res.Sym {
+					var r []smt.Var
+					for _, ej := range row {
+						e, err := decodeExpr(ej)
+						if err != nil {
+							return err
+						}
+						v, ok := e.(smt.Var)
+						if !ok {
+							return fmt.Errorf("trace: result alias is not a variable: %v", e)
+						}
+						r = append(r, v)
+					}
+					res.Sym = append(res.Sym, r)
+				}
+				for _, row := range sj.Res.Concrete {
+					var r []minidb.Datum
+					for _, dj := range row {
+						d, err := decodeDatum(dj)
+						if err != nil {
+							return err
+						}
+						r = append(r, d)
+					}
+					res.Concrete = append(res.Concrete, r)
+				}
+				st.Res = res
+			}
+			txn.Stmts = append(txn.Stmts, st)
+		}
+		tr.Txns = append(tr.Txns, txn)
+	}
+	for _, pj := range in.PathConds {
+		cond, err := decodeExpr(pj.Cond)
+		if err != nil {
+			return err
+		}
+		tr.PathConds = append(tr.PathConds, PathCond{AfterStmt: pj.AfterStmt, Cond: cond, Loc: pj.Loc})
+	}
+	return nil
+}

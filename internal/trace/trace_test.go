@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"weseer/internal/minidb"
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+)
+
+func sampleTrace() *Trace {
+	orderID := smt.NewVar("order_id", smt.SortInt)
+	resVar := smt.Var{Name: "res0.row0.p.ID", S: smt.SortInt}
+	arr := smt.NewArray("cache@1", smt.SortInt).Store(orderID, true)
+	return &Trace{
+		API: "Checkout",
+		Inputs: []Input{
+			{Name: "order_id", Sort: smt.SortInt, Concrete: smt.IntValue(7)},
+		},
+		Txns: []*Txn{{
+			ID:        1,
+			Committed: true,
+			Stmts: []*Stmt{
+				{
+					Seq: 0, TxnID: 1,
+					SQL:    `SELECT * FROM Product p WHERE p.ID = ?`,
+					Parsed: sqlast.MustParse(`SELECT * FROM Product p WHERE p.ID = ?`),
+					Params: []Param{{Sym: orderID, Concrete: minidb.I64(7)}},
+					Res: &Result{
+						Cols:     []string{"p.ID", "p.QTY"},
+						Sym:      [][]smt.Var{{resVar, {Name: "res0.row0.p.QTY", S: smt.SortInt}}},
+						Concrete: [][]minidb.Datum{{minidb.I64(7), minidb.I64(3)}},
+					},
+					Trigger: CodeLoc{Frames: []Frame{{Func: "app.Checkout", File: "checkout.go", Line: 42}}},
+					Sent:    CodeLoc{Frames: []Frame{{Func: "app.Checkout", File: "checkout.go", Line: 99}}},
+				},
+				{
+					Seq: 1, TxnID: 1,
+					SQL:    `UPDATE Product SET QTY = ? WHERE ID = ?`,
+					Parsed: sqlast.MustParse(`UPDATE Product SET QTY = ? WHERE ID = ?`),
+					Params: []Param{
+						{Sym: smt.Sub(resVar, smt.Int(1)), Concrete: minidb.I64(2)},
+						{Sym: orderID, Concrete: minidb.I64(7)},
+					},
+				},
+			},
+		}},
+		PathConds: []PathCond{
+			{AfterStmt: 0, Cond: smt.Ne(orderID, smt.Int(-1))},
+			{AfterStmt: 1, Cond: smt.Read(arr, orderID)},
+			{AfterStmt: 2, Cond: smt.Gt(smt.NewVar("res0.row0.p.QTY", smt.SortInt), smt.Int(0))},
+		},
+		Stats: Stats{PathConds: 3, PrunedConds: 120, Statements: 2},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.API != tr.API || len(back.Txns) != 1 || len(back.PathConds) != 3 {
+		t.Fatalf("structure lost: %+v", back)
+	}
+	if back.Stats != tr.Stats {
+		t.Errorf("stats = %+v", back.Stats)
+	}
+	s0 := back.Txns[0].Stmts[0]
+	if s0.Parsed == nil || s0.Parsed.Kind() != sqlast.KindSelect {
+		t.Error("statement not re-parsed")
+	}
+	if s0.Params[0].Sym.String() != "order_id" || s0.Params[0].Concrete.I != 7 {
+		t.Errorf("param = %v / %v", s0.Params[0].Sym, s0.Params[0].Concrete)
+	}
+	if s0.Res.Sym[0][1].Name != "res0.row0.p.QTY" {
+		t.Errorf("result alias = %v", s0.Res.Sym[0][1])
+	}
+	if s0.Trigger.Top().Line != 42 {
+		t.Errorf("trigger = %v", s0.Trigger)
+	}
+	s1 := back.Txns[0].Stmts[1]
+	if s1.Params[0].Sym.String() != "(res0.row0.p.ID - 1)" {
+		t.Errorf("arith param = %v", s1.Params[0].Sym)
+	}
+	// The array-read path condition survives with its store chain.
+	if got := back.PathConds[1].Cond.String(); got != tr.PathConds[1].Cond.String() {
+		t.Errorf("array PC = %s, want %s", got, tr.PathConds[1].Cond)
+	}
+}
+
+func TestRename(t *testing.T) {
+	tr := sampleTrace()
+	r := tr.Rename("A1.")
+	if r.Inputs[0].Name != "A1.order_id" {
+		t.Errorf("input = %v", r.Inputs[0])
+	}
+	if got := r.Txns[0].Stmts[0].Params[0].Sym.String(); got != "A1.order_id" {
+		t.Errorf("param = %s", got)
+	}
+	if got := r.Txns[0].Stmts[0].Res.Sym[0][0].Name; got != "A1.res0.row0.p.ID" {
+		t.Errorf("alias = %s", got)
+	}
+	// Original untouched.
+	if tr.Inputs[0].Name != "order_id" {
+		t.Error("rename mutated the source trace")
+	}
+	// Array ids renamed inside path conditions.
+	if got := r.PathConds[1].Cond.String(); got == tr.PathConds[1].Cond.String() {
+		t.Errorf("array PC unchanged: %s", got)
+	}
+}
+
+func TestTxnTables(t *testing.T) {
+	tr := sampleTrace()
+	acc, wr := tr.Txns[0].Tables()
+	if !acc["Product"] || !wr["Product"] {
+		t.Errorf("tables = %v / %v", acc, wr)
+	}
+	if len(wr) != 1 {
+		t.Errorf("written = %v", wr)
+	}
+}
+
+func TestPathCondsBefore(t *testing.T) {
+	tr := sampleTrace()
+	if got := len(tr.PathCondsBefore(0)); got != 1 {
+		t.Errorf("before stmt 0: %d", got)
+	}
+	if got := len(tr.PathCondsBefore(1)); got != 2 {
+		t.Errorf("before stmt 1: %d", got)
+	}
+	if got := len(tr.PathCondsBefore(99)); got != 3 {
+		t.Errorf("all: %d", got)
+	}
+}
+
+func TestAllStmtsSorted(t *testing.T) {
+	tr := &Trace{Txns: []*Txn{
+		{ID: 1, Stmts: []*Stmt{{Seq: 2, SQL: "c", Parsed: sqlast.MustParse(`DELETE FROM T WHERE a = 1`)}}},
+		{ID: 2, Stmts: []*Stmt{{Seq: 0, SQL: "a", Parsed: sqlast.MustParse(`DELETE FROM T WHERE a = 1`)}, {Seq: 1, SQL: "b", Parsed: sqlast.MustParse(`DELETE FROM T WHERE a = 1`)}}},
+	}}
+	all := tr.AllStmts()
+	for i, s := range all {
+		if s.Seq != i {
+			t.Errorf("pos %d seq %d", i, s.Seq)
+		}
+	}
+}
+
+func TestCodeLocString(t *testing.T) {
+	var empty CodeLoc
+	if empty.String() != "<unknown>" {
+		t.Errorf("empty = %s", empty.String())
+	}
+	loc := CodeLoc{Frames: []Frame{{Func: "f", File: "x.go", Line: 3}, {Func: "g", File: "y.go", Line: 9}}}
+	want := "f (x.go:3) <- g (y.go:9)"
+	if loc.String() != want {
+		t.Errorf("loc = %s", loc.String())
+	}
+	if loc.Top().Func != "f" {
+		t.Errorf("top = %v", loc.Top())
+	}
+}
+
+func TestIsWrite(t *testing.T) {
+	sel := &Stmt{Parsed: sqlast.MustParse(`SELECT * FROM T`)}
+	ins := &Stmt{Parsed: sqlast.MustParse(`INSERT INTO T (a) VALUES (1)`)}
+	if sel.IsWrite() || !ins.IsWrite() {
+		t.Error("IsWrite misclassifies")
+	}
+}

@@ -1,0 +1,111 @@
+// Package workload is the performance-evaluation harness behind Figs. 10
+// and 11: N concurrent clients each simulate one customer flow —
+// sequentially issuing the Table I API calls against the application —
+// while the harness measures successful API throughput and the database's
+// deadlock-abort rate. Deadlock victims retry, so deadlock storms burn
+// client time exactly as aborted transactions burn CPU in the paper's
+// testbed.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weseer/internal/concolic"
+	"weseer/internal/minidb"
+)
+
+// Step is one API call in a client's flow. It returns the API name (for
+// accounting) and the call's outcome.
+type Step func(e *concolic.Engine) (string, error)
+
+// Flow produces a client's infinite call sequence: each invocation
+// returns the next step. Implementations are per-client stateful.
+type Flow func(clientID int64, rng *rand.Rand) func() Step
+
+// Config parameterizes one run.
+type Config struct {
+	Clients  int
+	Duration time.Duration
+	// MaxRetries bounds how often a failing step is retried before the
+	// client gives up and moves on (deadlock victims retry).
+	MaxRetries int
+	// RetryBackoff is slept before each retry, modeling client-side
+	// backoff after an aborted request.
+	RetryBackoff time.Duration
+	Seed         int64
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	Clients    int
+	Duration   time.Duration
+	APICalls   int64   // successful API calls
+	Failures   int64   // calls that kept failing after retries
+	Throughput float64 // successful API calls per second
+	Deadlocks  int64   // deadlock victims (database aborts)
+	AbortsPS   float64 // transaction aborts per second
+	LockWaits  int64
+}
+
+// Run drives the flow with cfg.Clients concurrent clients for
+// cfg.Duration and returns aggregate metrics.
+func Run(cfg Config, db *minidb.DB, flow Flow) Result {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 50
+	}
+	before := db.StatsSnapshot()
+	var calls, failures atomic.Int64
+	deadline := time.Now().Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + id))
+			next := flow(id, rng)
+			e := concolic.New(concolic.ModeOff)
+			for time.Now().Before(deadline) {
+				step := next()
+				ok := false
+				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+					if _, err := step(e); err == nil {
+						ok = true
+						break
+					}
+					if !time.Now().Before(deadline) {
+						break
+					}
+					if cfg.RetryBackoff > 0 {
+						time.Sleep(cfg.RetryBackoff)
+					}
+				}
+				if ok {
+					calls.Add(1)
+				} else {
+					failures.Add(1)
+				}
+			}
+		}(int64(c + 1))
+	}
+	wg.Wait()
+
+	after := db.StatsSnapshot()
+	res := Result{
+		Clients:   cfg.Clients,
+		Duration:  cfg.Duration,
+		APICalls:  calls.Load(),
+		Failures:  failures.Load(),
+		Deadlocks: after.Deadlocks - before.Deadlocks,
+		LockWaits: after.LockWaits - before.LockWaits,
+	}
+	secs := cfg.Duration.Seconds()
+	if secs > 0 {
+		res.Throughput = float64(res.APICalls) / secs
+		res.AbortsPS = float64(after.Aborts-before.Aborts) / secs
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/minidb"
+	"weseer/internal/workload"
+)
+
+func dbConfig() minidb.Config {
+	return minidb.Config{
+		StatementDelay:  100 * time.Microsecond,
+		LockWaitTimeout: 100 * time.Millisecond,
+	}
+}
+
+func runBroadleaf(t *testing.T, fixes broadleaf.Fixes, clients int) workload.Result {
+	t.Helper()
+	app := broadleaf.New(fixes, dbConfig())
+	return workload.Run(workload.Config{
+		Clients:  clients,
+		Duration: 400 * time.Millisecond,
+		Seed:     7,
+	}, app.DB, app.Flow())
+}
+
+func runShopizer(t *testing.T, fixes shopizer.Fixes, clients int) workload.Result {
+	t.Helper()
+	app := shopizer.New(fixes, dbConfig())
+	return workload.Run(workload.Config{
+		Clients:  clients,
+		Duration: 400 * time.Millisecond,
+		Seed:     7,
+	}, app.DB, app.Flow())
+}
+
+// TestFig10Shape checks the headline Broadleaf result: with all fixes
+// enabled the application sustains far higher throughput than with the
+// deadlocks left to the database's detect-and-recover handling, and the
+// abort rate drops to (near) zero — the paper's 904 → 0 aborts/s.
+func TestFig10Shape(t *testing.T) {
+	enabled := runBroadleaf(t, broadleaf.AllFixes(), 64)
+	disabled := runBroadleaf(t, broadleaf.Fixes{}, 64)
+	t.Logf("enable all: %.0f API/s, %d deadlocks; disable all: %.0f API/s, %d deadlocks",
+		enabled.Throughput, enabled.Deadlocks, disabled.Throughput, disabled.Deadlocks)
+	if enabled.Throughput < 4*disabled.Throughput {
+		t.Errorf("fixes should win by a wide margin: %.0f vs %.0f API/s",
+			enabled.Throughput, disabled.Throughput)
+	}
+	if disabled.Deadlocks < 50 {
+		t.Errorf("unfixed app deadlocked only %d times", disabled.Deadlocks)
+	}
+	if enabled.Deadlocks > disabled.Deadlocks/20 {
+		t.Errorf("fixed app still deadlocks heavily: %d vs %d", enabled.Deadlocks, disabled.Deadlocks)
+	}
+}
+
+// TestFig11Shape checks the Shopizer result at high concurrency.
+func TestFig11Shape(t *testing.T) {
+	enabled := runShopizer(t, shopizer.AllFixes(), 64)
+	disabled := runShopizer(t, shopizer.Fixes{}, 64)
+	t.Logf("enable all: %.0f API/s, %d deadlocks; disable all: %.0f API/s, %d deadlocks",
+		enabled.Throughput, enabled.Deadlocks, disabled.Throughput, disabled.Deadlocks)
+	if enabled.Throughput < disabled.Throughput {
+		t.Errorf("fixes should win at 64 clients: %.0f vs %.0f API/s",
+			enabled.Throughput, disabled.Throughput)
+	}
+	if enabled.Deadlocks > 5 {
+		t.Errorf("fixed app deadlocked %d times", enabled.Deadlocks)
+	}
+	if disabled.Deadlocks < 50 {
+		t.Errorf("unfixed app deadlocked only %d times", disabled.Deadlocks)
+	}
+}
+
+// TestDisableF2Hurts reproduces the paper's observation that f2 (the cart
+// UPSERT) is Broadleaf's most valuable fix at high concurrency.
+func TestDisableF2Hurts(t *testing.T) {
+	all := runBroadleaf(t, broadleaf.AllFixes(), 64)
+	noF2 := runBroadleaf(t, broadleaf.AllFixes().Disable("f2"), 64)
+	t.Logf("all: %.0f API/s; disable f2: %.0f API/s (%d deadlocks)",
+		all.Throughput, noF2.Throughput, noF2.Deadlocks)
+	if noF2.Deadlocks == 0 {
+		t.Error("disabling f2 should reintroduce cart-lock deadlocks")
+	}
+	if noF2.Throughput >= all.Throughput {
+		t.Errorf("disabling f2 should cost throughput: %.0f vs %.0f", noF2.Throughput, all.Throughput)
+	}
+}
+
+// TestRetryBackoffCountsCalls sanity-checks the harness accounting.
+func TestRetryBackoffCountsCalls(t *testing.T) {
+	app := broadleaf.New(broadleaf.AllFixes(), minidb.Config{})
+	res := workload.Run(workload.Config{
+		Clients:      2,
+		Duration:     150 * time.Millisecond,
+		RetryBackoff: time.Millisecond,
+		Seed:         1,
+	}, app.DB, app.Flow())
+	if res.APICalls == 0 {
+		t.Error("no API calls recorded")
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput not computed")
+	}
+	if res.Clients != 2 {
+		t.Errorf("clients = %d", res.Clients)
+	}
+}

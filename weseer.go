@@ -1,0 +1,153 @@
+// Package weseer is a deadlock diagnosis toolkit for ORM-based database
+// applications, reproducing WeSEER from "Database Deadlock Diagnosis for
+// Large-Scale ORM-Based Web Applications" (ICDE 2023).
+//
+// WeSEER extracts an application's transactions — SQL statement templates
+// with symbolic parameters, symbolic result aliases, and the path
+// conditions enabling them — by running API unit tests under concolic
+// execution, then diagnoses potential deadlocks with a three-phase
+// analysis that ends in fine-grained row/range-lock modeling discharged
+// by an SMT solver. Reports include the hold-and-wait cycle, the
+// triggering code location of every involved statement (ORM write-behind
+// aware), and a satisfying assignment of API inputs and database state
+// that reproduces the deadlock.
+//
+// The package re-exports the toolkit's layers:
+//
+//   - Schema/database: NewSchema, OpenDB — an embedded lock-based SQL
+//     engine with InnoDB-style record/gap/next-key locking and
+//     detect-and-recover deadlock handling.
+//   - ORM: NewMapping, NewSession — a Hibernate-style mapper with read
+//     caching, write-behind flushing, and lazy collections.
+//   - Concolic engine: NewEngine, Engine.MakeSymbolic, Engine.If.
+//   - Collection: UnitTest, Collect.
+//   - Analysis: Analyze — the three-phase deadlock diagnosis.
+//
+// See examples/quickstart for an end-to-end walkthrough.
+package weseer
+
+import (
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/orm"
+	"weseer/internal/schema"
+	"weseer/internal/solver"
+	"weseer/internal/trace"
+)
+
+// Schema layer.
+type (
+	// Schema describes tables, columns, and indexes.
+	Schema = schema.Schema
+	// TableBuilder declares one table fluently.
+	TableBuilder = schema.TableBuilder
+	// ColType is a column data type.
+	ColType = schema.ColType
+)
+
+// Column types.
+const (
+	Int     = schema.Int
+	Decimal = schema.Decimal
+	Varchar = schema.Varchar
+)
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return schema.New() }
+
+// Database layer.
+type (
+	// DB is the embedded lock-based SQL engine standing in for MySQL.
+	DB = minidb.DB
+	// DBConfig tunes the engine.
+	DBConfig = minidb.Config
+	// DBStats are cumulative engine counters.
+	DBStats = minidb.Stats
+)
+
+// OpenDB creates a database for the schema.
+func OpenDB(s *Schema, cfg DBConfig) *DB { return minidb.Open(s, cfg) }
+
+// Concolic layer.
+type (
+	// Engine is a concolic execution session.
+	Engine = concolic.Engine
+	// Value is a concolic value: concrete plus optional symbolic part.
+	Value = concolic.Value
+	// Conn is the intercepted database connection.
+	Conn = concolic.Conn
+	// Mode selects how much the engine tracks.
+	Mode = concolic.Mode
+)
+
+// Engine modes.
+const (
+	ModeOff       = concolic.ModeOff
+	ModeInterpret = concolic.ModeInterpret
+	ModeConcolic  = concolic.ModeConcolic
+)
+
+// NewEngine returns a concolic engine in the given mode.
+func NewEngine(mode Mode) *Engine { return concolic.New(mode) }
+
+// NewConn wraps a database for one engine session.
+func NewConn(e *Engine, db *DB) *Conn { return concolic.NewConn(e, db) }
+
+// Concrete value constructors.
+var (
+	IntValue  = concolic.Int
+	StrValue  = concolic.Str
+	RealValue = concolic.Real
+	BoolValue = concolic.Bool
+)
+
+// ORM layer.
+type (
+	// Mapping holds per-table ORM metadata.
+	Mapping = orm.Mapping
+	// Collection declares a lazily-loaded relation.
+	Collection = orm.Collection
+	// Session is the persistence context.
+	Session = orm.Session
+	// Entity is a persistent object.
+	Entity = orm.Entity
+)
+
+// NewMapping creates ORM metadata over a schema.
+func NewMapping(s *Schema) *Mapping { return orm.NewMapping(s) }
+
+// NewSession opens a persistence context over a connection.
+func NewSession(m *Mapping, c *Conn) *Session { return orm.NewSession(m, c) }
+
+// Collection layer.
+type (
+	// UnitTest is one API unit test used for trace collection.
+	UnitTest = appkit.UnitTest
+	// Trace is one collected API execution.
+	Trace = trace.Trace
+)
+
+// Collect runs unit tests sequentially under one engine mode and returns
+// their traces.
+func Collect(tests []UnitTest, mode Mode) ([]*Trace, error) {
+	return appkit.Collect(tests, mode)
+}
+
+// Analysis layer.
+type (
+	// AnalyzerOptions configure an analysis run.
+	AnalyzerOptions = core.Options
+	// AnalysisResult is the diagnosis outcome.
+	AnalysisResult = core.Result
+	// Deadlock is one reported deadlock.
+	Deadlock = core.Deadlock
+	// SolverLimits bound each satisfiability check.
+	SolverLimits = solver.Limits
+)
+
+// Analyze runs WeSEER's three-phase deadlock diagnosis over the traces.
+func Analyze(s *Schema, traces []*Trace, opts AnalyzerOptions) *AnalysisResult {
+	return core.New(s, opts).Analyze(traces)
+}
