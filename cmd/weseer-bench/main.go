@@ -144,6 +144,18 @@ func table2() {
 		blFound["fp-checkout-applock"], blFound["extra"]+shFound["extra"]+blFound[""]+shFound[""])
 	fmt.Println("\nBroadleaf:", blRes.Stats.Render())
 	fmt.Println("Shopizer: ", shRes.Stats.Render())
+
+	// Phase-0 static prescreen: same diagnosis, fewer solver calls.
+	blPre := core.New(broadleaf.Schema(), core.Options{StaticPrescreen: true}).Analyze(blTraces)
+	shPre := core.New(shopizer.Schema(), core.Options{StaticPrescreen: true}).Analyze(shTraces)
+	fmt.Println("\nwith -exp table2 static prescreen (weseer vet Phase-0):")
+	fmt.Println("Broadleaf:", blPre.Stats.Render())
+	fmt.Println("Shopizer: ", shPre.Stats.Render())
+	off := blRes.Stats.GroupsSolved + shRes.Stats.GroupsSolved
+	on := blPre.Stats.GroupsSolved + shPre.Stats.GroupsSolved
+	saved := blPre.Stats.PrescreenSaved + shPre.Stats.PrescreenSaved
+	fmt.Printf("solver calls: %d without prescreen -> %d with (%d saved, %d reports unchanged)\n",
+		off, on, saved, len(blPre.Deadlocks)+len(shPre.Deadlocks))
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"testing"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/schema"
+)
+
+// TestPrescreenSound is the Phase-0 soundness gate: on both model
+// applications, enabling the static prescreen must not change a single
+// reported deadlock — same group keys, same Table II classification,
+// all 18 cataloged deadlocks still found — while measurably cutting the
+// number of solver calls.
+func TestPrescreenSound(t *testing.T) {
+	type target struct {
+		name     string
+		scm      *schema.Schema
+		tests    []appkit.UnitTest
+		classify func(*core.Deadlock) string
+		expected []string
+	}
+	blApp := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
+	shApp := shopizer.New(shopizer.Fixes{}, minidb.Config{})
+	var blIDs, shIDs []string
+	for _, e := range broadleaf.Expectations() {
+		blIDs = append(blIDs, e.ID)
+	}
+	for _, e := range shopizer.Expectations() {
+		shIDs = append(shIDs, e.ID)
+	}
+	targets := []target{
+		{"broadleaf", broadleaf.Schema(), blApp.UnitTests(), broadleaf.Classify, blIDs},
+		{"shopizer", shopizer.Schema(), shApp.UnitTests(), shopizer.Classify, shIDs},
+	}
+
+	totalSaved, totalOff, totalOn := 0, 0, 0
+	for _, tg := range targets {
+		traces, err := appkit.Collect(tg.tests, concolic.ModeConcolic)
+		if err != nil {
+			t.Fatalf("%s: collect: %v", tg.name, err)
+		}
+		off := core.New(tg.scm, core.Options{}).Analyze(traces)
+		on := core.New(tg.scm, core.Options{StaticPrescreen: true}).Analyze(traces)
+
+		// Identical reports: the prescreen may only discard candidates the
+		// solver would refute, never a satisfiable cycle.
+		offKeys := map[string]bool{}
+		for _, d := range off.Deadlocks {
+			offKeys[d.Key] = true
+		}
+		if len(on.Deadlocks) != len(off.Deadlocks) {
+			t.Errorf("%s: prescreen changed the report count: %d vs %d",
+				tg.name, len(on.Deadlocks), len(off.Deadlocks))
+		}
+		for _, d := range on.Deadlocks {
+			if !offKeys[d.Key] {
+				t.Errorf("%s: prescreen introduced group %s", tg.name, d.Key)
+			}
+		}
+		found := map[string]int{}
+		for _, d := range on.Deadlocks {
+			found[tg.classify(d)]++
+		}
+		for _, id := range tg.expected {
+			if found[id] == 0 {
+				t.Errorf("%s: prescreen dropped cataloged deadlock %s", tg.name, id)
+			}
+		}
+		if on.Stats.SolverSAT != off.Stats.SolverSAT {
+			t.Errorf("%s: prescreen changed SAT count: %d vs %d",
+				tg.name, on.Stats.SolverSAT, off.Stats.SolverSAT)
+		}
+		// Every skipped group must be accounted for: the solver-call total
+		// with prescreen plus the saved calls never exceeds the baseline.
+		if on.Stats.GroupsSolved+on.Stats.PrescreenSaved > off.Stats.GroupsSolved {
+			t.Errorf("%s: prescreen accounting broken: %d solved + %d saved > %d baseline",
+				tg.name, on.Stats.GroupsSolved, on.Stats.PrescreenSaved, off.Stats.GroupsSolved)
+		}
+		totalSaved += on.Stats.PrescreenSaved
+		totalOff += off.Stats.GroupsSolved
+		totalOn += on.Stats.GroupsSolved
+		t.Logf("%s: %d -> %d solver calls (%d saved, %d/%d pairs pruned)",
+			tg.name, off.Stats.GroupsSolved, on.Stats.GroupsSolved,
+			on.Stats.PrescreenSaved, on.Stats.PrescreenPairsPruned, on.Stats.PrescreenPairs)
+	}
+	// The measured workload refutes 32 of 326 groups (all on Shopizer's
+	// rigid literal keys); require a conservative floor so regressions in
+	// the screen's precision surface here.
+	if totalSaved < 16 {
+		t.Errorf("prescreen saved only %d solver calls, want >= 16 (measured 32)", totalSaved)
+	}
+	if totalOn >= totalOff {
+		t.Errorf("prescreen did not reduce solver calls: %d -> %d", totalOff, totalOn)
+	}
+}

@@ -5,15 +5,23 @@
 //
 // Usage:
 //
-//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-plans] [-reproduce] [-v]
+//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-reproduce] [-v]
 //	weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse]
+//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen]
+//	weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]
 //
 // "run" pipes collection into analysis; "collect"/"analyze" split the
 // stages through a JSON trace file (Fig. 2's trace hand-off). -plans
 // restricts lock modeling to recorded execution plans and -reproduce
 // replays every report against a live database — the paper's two
-// Sec. V-D future-work items.
+// Sec. V-D future-work items. -prescreen enables the Phase-0 static
+// screen that discards trivially-UNSAT candidates before the solver.
+//
+// "vet" runs the static analyzers alone — no trace collection, no
+// solver: the template-level deadlock pre-screen and the Go-source
+// ORM-misuse lint over the given directories (default: the app's
+// source directory). Exit status: 0 clean, 1 findings at or above
+// -fail-on, 2 usage error.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"weseer/internal/apps/appkit"
 	"weseer/internal/apps/broadleaf"
@@ -30,6 +39,7 @@ import (
 	"weseer/internal/minidb"
 	"weseer/internal/replay"
 	"weseer/internal/schema"
+	"weseer/internal/staticlint"
 	"weseer/internal/trace"
 )
 
@@ -46,6 +56,8 @@ func main() {
 		err = cmdCollect(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "vet":
+		err = cmdVet(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -58,9 +70,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-plans] [-reproduce] [-v]
+  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-reproduce] [-v]
   weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse]`)
+  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen]
+  weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]`)
 }
 
 // appUnit bundles what the CLI needs from a model application.
@@ -96,6 +109,7 @@ func cmdRun(args []string) error {
 	appName := fs.String("app", "broadleaf", "application to diagnose")
 	fixed := fs.Bool("fixed", false, "apply the Table II fixes before collecting")
 	coarse := fs.Bool("coarse", false, "STEPDAD/REDACT-style coarse baseline (no SMT)")
+	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
 	plans := fs.Bool("plans", false, "restrict lock modeling to recorded execution plans (Sec. V-D)")
 	reproduce := fs.Bool("reproduce", false, "replay every report against a live database (Sec. V-D)")
 	verbose := fs.Bool("v", false, "print every deadlock report")
@@ -114,7 +128,7 @@ func cmdRun(args []string) error {
 		fmt.Printf("  %-10s %2d txns, %2d statements, %3d path conditions\n",
 			tr.API, len(tr.Txns), tr.Stats.Statements, tr.Stats.PathConds)
 	}
-	res := core.New(app.schema, core.Options{CoarseOnly: *coarse, UseConcretePlans: *plans}).Analyze(traces)
+	res := core.New(app.schema, core.Options{CoarseOnly: *coarse, StaticPrescreen: *prescreen, UseConcretePlans: *plans}).Analyze(traces)
 	printReport(res, app.classify, *verbose)
 	if *reproduce && !*coarse {
 		fmt.Println("\nautomatic reproduction (replaying each cycle against a rebuilt database):")
@@ -173,6 +187,7 @@ func cmdAnalyze(args []string) error {
 	appName := fs.String("app", "broadleaf", "application the traces came from")
 	in := fs.String("i", "traces.json", "input trace file")
 	coarse := fs.Bool("coarse", false, "coarse baseline (no SMT)")
+	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
 	verbose := fs.Bool("v", false, "print every deadlock report")
 	fs.Parse(args)
 
@@ -188,8 +203,72 @@ func cmdAnalyze(args []string) error {
 	if err := json.Unmarshal(data, &traces); err != nil {
 		return err
 	}
-	res := core.New(app.schema, core.Options{CoarseOnly: *coarse}).Analyze(traces)
+	res := core.New(app.schema, core.Options{CoarseOnly: *coarse, StaticPrescreen: *prescreen}).Analyze(traces)
 	printReport(res, app.classify, *verbose)
+	return nil
+}
+
+// cmdVet runs the static analyzers (internal/staticlint) over source
+// directories: no unit tests, no trace collection, no solver. -app
+// attaches the named application's schema so index-aware checks (gap
+// escalation, buffered-update keys) can run; "none" vets schema-free.
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	appName := fs.String("app", "none", "schema to attach (broadleaf|shopizer|none)")
+	jsonOut := fs.Bool("json", false, "emit the versioned JSON report instead of text")
+	failOn := fs.String("fail-on", "error", "exit 1 when findings reach this severity (info|warn|error)")
+	fs.Parse(args)
+
+	threshold, err := staticlint.ParseSeverity(*failOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weseer vet:", err)
+		os.Exit(2)
+	}
+	var scm *schema.Schema
+	switch *appName {
+	case "none":
+	case "broadleaf":
+		scm = broadleaf.Schema()
+	case "shopizer":
+		scm = shopizer.Schema()
+	default:
+		fmt.Fprintf(os.Stderr, "weseer vet: unknown app %q (want broadleaf, shopizer, or none)\n", *appName)
+		os.Exit(2)
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		if *appName == "none" {
+			fmt.Fprintln(os.Stderr, "weseer vet: no directories given (and no -app default)")
+			os.Exit(2)
+		}
+		dirs = []string{filepath.Join("internal", "apps", *appName)}
+	}
+
+	var findings []staticlint.Finding
+	for _, dir := range dirs {
+		fnd, err := staticlint.Vet(dir, scm)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fnd...)
+	}
+	staticlint.Sort(findings)
+
+	if *jsonOut {
+		data, err := staticlint.EncodeJSON(findings)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		fmt.Printf("%d finding(s)\n", len(findings))
+	}
+	if max, ok := staticlint.MaxSeverity(findings); ok && max >= threshold {
+		os.Exit(1)
+	}
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"weseer/internal/schema"
 	"weseer/internal/smt"
 	"weseer/internal/solver"
+	"weseer/internal/staticlint"
 	"weseer/internal/trace"
 )
 
@@ -41,6 +42,15 @@ type Options struct {
 	// paper's Sec. V-D future-work refinement, removing the
 	// all-join-orders source of false positives.
 	UseConcretePlans bool
+	// StaticPrescreen enables Phase-0: before lock generation and SMT
+	// discharge, candidate pairs and cycle groups are screened against
+	// the template-level lock-order analysis (internal/staticlint).
+	// Statements pinned to provably disjoint rigid point keys cannot
+	// collide, so refuted groups skip the solver entirely. The screen is
+	// an over-approximation: it only discards candidates whose conflict
+	// condition the solver would find trivially UNSAT, never a
+	// satisfiable cycle.
+	StaticPrescreen bool
 	// Solver bounds each satisfiability check.
 	Solver solver.Limits
 	// MaxCyclesPerPair caps coarse-cycle enumeration per transaction pair
@@ -52,6 +62,28 @@ type Options struct {
 type Analyzer struct {
 	scm  *schema.Schema
 	opts Options
+	ps   *prescreenState // Phase-0 state, set per Analyze call
+}
+
+// prescreenState caches the static shapes Phase-0 screens against, so
+// each transaction instance is abstracted once per run.
+type prescreenState struct {
+	txns  map[*trace.Txn]staticlint.TxnShape
+	stmts map[*trace.Stmt]staticlint.StmtShape
+}
+
+// shape abstracts (and caches) one transaction instance. ShapeFromTxn
+// walks txn.Stmts in order, so shape.Stmts[k] describes txn.Stmts[k].
+func (ps *prescreenState) shape(api string, txn *trace.Txn) staticlint.TxnShape {
+	if sh, ok := ps.txns[txn]; ok {
+		return sh
+	}
+	sh := staticlint.ShapeFromTxn(api, txn)
+	ps.txns[txn] = sh
+	for k, st := range txn.Stmts {
+		ps.stmts[st] = sh.Stmts[k]
+	}
+	return sh
 }
 
 // New returns an analyzer for a schema.
@@ -102,10 +134,15 @@ type Stats struct {
 	CoarseCycles     int // SC-graph deadlock cycles found in phase 2
 	LockFiltered     int // cycles discarded by the lock-collision test
 	GroupsSolved     int // deduplicated cycle groups sent to the solver
-	SolverSAT        int
-	SolverUNSAT      int
-	SolverUnknown    int
-	SolverTime       time.Duration
+
+	// Phase-0 static prescreen counters (zero unless StaticPrescreen).
+	PrescreenPairs       int // pairs examined by the static pair screen
+	PrescreenPairsPruned int // pairs discarded before cycle enumeration
+	PrescreenSaved       int // solver calls avoided by group refutation
+	SolverSAT            int
+	SolverUNSAT          int
+	SolverUnknown        int
+	SolverTime           time.Duration
 }
 
 // Result is the outcome of Analyze.
@@ -133,6 +170,14 @@ func (a *Analyzer) Analyze(traces []*trace.Trace) *Result {
 	groups := map[string]*Deadlock{}
 	var order []string
 
+	a.ps = nil
+	if a.opts.StaticPrescreen {
+		a.ps = &prescreenState{
+			txns:  map[*trace.Txn]staticlint.TxnShape{},
+			stmts: map[*trace.Stmt]staticlint.StmtShape{},
+		}
+	}
+
 	for i := range traces {
 		for j := i; j < len(traces); j++ {
 			for _, t1 := range inst1[i].Txns {
@@ -144,6 +189,15 @@ func (a *Analyzer) Analyze(traces []*trace.Trace) *Result {
 						continue
 					}
 					res.Stats.PairsAfterPhase1++
+					if a.ps != nil {
+						res.Stats.PrescreenPairs++
+						sh1 := a.ps.shape(traces[i].API, t1)
+						sh2 := a.ps.shape(traces[j].API, t2)
+						if !staticlint.PairDeadlockPossible(sh1, sh2, a.scm) {
+							res.Stats.PrescreenPairsPruned++
+							continue
+						}
+					}
 					a.analyzePair(p1, p2, res, groups, &order)
 				}
 			}
@@ -262,6 +316,21 @@ func (a *Analyzer) fineCheck(cyc Cycle, res *Result, groups map[string]*Deadlock
 		if !lockmodel.PotentialConflict(cyc.S1b, cyc.S2a, a.scm, a.opts.UseConcretePlans) ||
 			!lockmodel.PotentialConflict(cyc.S2b, cyc.S1a, a.scm, a.opts.UseConcretePlans) {
 			res.Stats.LockFiltered++
+			return
+		}
+	}
+
+	// Phase-0 group refutation: when every statement of the cycle has a
+	// static shape and one C-edge joins provably disjoint rigid point
+	// rows, the conflict condition is trivially UNSAT — skip the solver.
+	if a.ps != nil {
+		s1a, ok1 := a.ps.stmts[cyc.S1a]
+		s1b, ok2 := a.ps.stmts[cyc.S1b]
+		s2a, ok3 := a.ps.stmts[cyc.S2a]
+		s2b, ok4 := a.ps.stmts[cyc.S2b]
+		if ok1 && ok2 && ok3 && ok4 &&
+			!staticlint.CyclePossible(s1a, s1b, s2a, s2b, a.scm) {
+			res.Stats.PrescreenSaved++
 			return
 		}
 	}

@@ -28,10 +28,15 @@ func (r *Result) Render() string {
 
 // Render formats the per-phase statistics.
 func (s Stats) Render() string {
+	pre := ""
+	if s.PrescreenPairs > 0 || s.PrescreenSaved > 0 {
+		pre = fmt.Sprintf(" [prescreen: %d pairs screened, %d pruned, %d solver calls saved]",
+			s.PrescreenPairs, s.PrescreenPairsPruned, s.PrescreenSaved)
+	}
 	return fmt.Sprintf(
-		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved (SAT %d / UNSAT %d / UNKNOWN %d) in %v",
+		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s",
 		s.Traces, s.Pairs, s.PairsAfterPhase1, s.CoarseCycles,
-		s.LockFiltered, s.GroupsSolved, s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000))
+		s.LockFiltered, s.GroupsSolved, s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), pre)
 }
 
 // Render formats one deadlock.

@@ -71,13 +71,45 @@ func (o Operand) String() string {
 	case ConstInt:
 		return fmt.Sprintf("%d", o.Int)
 	case ConstReal:
-		return o.Real.RatString()
+		return realString(o.Real)
 	case ConstStr:
 		return fmt.Sprintf("'%s'", o.Str)
 	case Null:
 		return "NULL"
 	}
 	return "<bad operand>"
+}
+
+// realString renders a rational as the decimal literal the tokenizer
+// accepts, exactly when the denominator is 2^a·5^b — always the case
+// for values Parse itself produced. Other rationals (hand-built via
+// VReal) are rounded to 12 fractional digits.
+func realString(r *big.Rat) string {
+	if r.IsInt() {
+		if r.Num().IsInt64() {
+			return r.Num().String()
+		}
+		// Keep a decimal point: bare integers beyond int64 would be
+		// rejected on reparse, a ConstReal round-trips.
+		return r.Num().String() + ".0"
+	}
+	den := new(big.Int).Set(r.Denom())
+	two, five := big.NewInt(2), big.NewInt(5)
+	digits := 0
+	for _, f := range []*big.Int{two, five} {
+		n := 0
+		for new(big.Int).Mod(den, f).Sign() == 0 {
+			den.Div(den, f)
+			n++
+		}
+		if n > digits {
+			digits = n
+		}
+	}
+	if den.Cmp(big.NewInt(1)) != 0 {
+		return r.FloatString(12)
+	}
+	return r.FloatString(digits)
 }
 
 // Equal reports structural operand equality.

@@ -1,0 +1,76 @@
+package sqlast
+
+import (
+	"reflect"
+	"testing"
+)
+
+// seedTemplates is every statement template the two model applications
+// send, plus grammar corners (joins, OR groups, IS NULL, inline
+// constants, UPSERT) — the fuzz corpus and the round-trip fixture set.
+var seedTemplates = []string{
+	`INSERT INTO CartLock (ID, LOCKED) VALUES (?, ?) ON DUPLICATE KEY UPDATE LOCKED = ?`,
+	`SELECT * FROM Address ad WHERE ad.CUSTOMER_ID = ?`,
+	`SELECT * FROM Cart c WHERE c.CUSTOMER_ID = ?`,
+	`SELECT * FROM CartItem ci JOIN Product p ON p.ID = ci.PRODUCT_ID WHERE ci.CART_ID = ?`,
+	`SELECT * FROM CartItem ci WHERE ci.CART_ID = ? AND ci.PRODUCT_ID = ?`,
+	`SELECT * FROM CartLock cl WHERE cl.ID = ?`,
+	`SELECT * FROM OrderItem oi JOIN Orders o ON o.ID = oi.ORDER_ID JOIN Product p ON p.ID = oi.PRODUCT_ID WHERE oi.ORDER_ID = ?`,
+	`SELECT * FROM OfferStat st WHERE st.ID = ?`,
+	`SELECT * FROM Product p WHERE p.ID = ?`,
+	`UPDATE FulfillmentOption SET USES = ? WHERE ID = ?`,
+	`UPDATE Offer SET USES = ? WHERE ID = ?`,
+	`UPDATE Product SET QTY = ? WHERE ID = ?`,
+	`UPDATE Product SET SOLD = ?, QTY = 3 WHERE ID = ?`,
+	`INSERT INTO Orders (ID, TOTAL) VALUES (?, 0)`,
+	`DELETE FROM CartItem WHERE CART_ID = ?`,
+	`SELECT * FROM T`,
+	`SELECT a.X, a.Y FROM T a WHERE a.X = 'str' AND a.Y = 1.5`,
+	`SELECT * FROM T t WHERE t.A IS NULL`,
+	`SELECT * FROM T t WHERE (t.A = 1 OR t.B = 2) AND t.C = ?`,
+}
+
+// FuzzParseTemplate asserts two properties over arbitrary input: Parse
+// never panics, and any template it accepts round-trips — the printed
+// form re-parses to the same normalized AST (print.go's contract).
+func FuzzParseTemplate(f *testing.F) {
+	for _, sql := range seedTemplates {
+		f.Add(sql)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		printed := st.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form rejected: %q -> %q: %v", sql, printed, err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Fatalf("round-trip changed the AST:\n  input:   %q\n  printed: %q\n  reprint: %q", sql, printed, back.String())
+		}
+	})
+}
+
+// TestPrintRoundTrip runs the round-trip property deterministically over
+// the seed corpus, so `go test` covers it without -fuzz.
+func TestPrintRoundTrip(t *testing.T) {
+	for _, sql := range seedTemplates {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("seed template rejected: %q: %v", sql, err)
+		}
+		printed := st.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form rejected: %q -> %q: %v", sql, printed, err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Errorf("round-trip changed the AST for %q (printed %q)", sql, printed)
+		}
+		if again := back.String(); again != printed {
+			t.Errorf("printing is not canonical: %q vs %q", printed, again)
+		}
+	}
+}

@@ -8,6 +8,16 @@ package sqlast
 func Normalize(st Stmt) {
 	switch t := st.(type) {
 	case *Select:
+		// A self-alias ("FROM Product Product") is the same reference as
+		// no alias; drop it so the printed form is a fixpoint.
+		if t.From.As == t.From.Table {
+			t.From.As = ""
+		}
+		for i := range t.Joins {
+			if t.Joins[i].Ref.As == t.Joins[i].Ref.Table {
+				t.Joins[i].Ref.As = ""
+			}
+		}
 		if len(t.Joins) > 0 {
 			return
 		}

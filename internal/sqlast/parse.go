@@ -528,6 +528,11 @@ func (p *parser) operand() (Operand, error) {
 			if !ok {
 				return Operand{}, fmt.Errorf("bad decimal %q", t.text)
 			}
+			// Canonicalize integral decimals ("0.", "2.0") to integer
+			// literals so printing and reparsing is a fixpoint.
+			if r.IsInt() && r.Num().IsInt64() {
+				return VInt(r.Num().Int64()), nil
+			}
 			return Operand{Kind: ConstReal, Real: r}, nil
 		}
 		v, err := strconv.ParseInt(t.text, 10, 64)

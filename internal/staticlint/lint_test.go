@@ -1,0 +1,143 @@
+package staticlint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/staticlint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func render(fs []staticlint.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestFixturesGolden locks the exact findings on the anti-pattern
+// fixtures: each exhibits its class, the clean package reports nothing.
+func TestFixturesGolden(t *testing.T) {
+	for _, name := range []string{"f2", "f4", "f9", "clean"} {
+		t.Run(name, func(t *testing.T) {
+			fs, err := staticlint.Vet(filepath.Join("testdata", "src", name), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "clean" && len(fs) != 0 {
+				t.Fatalf("clean fixture must have zero findings, got:\n%s", render(fs))
+			}
+			golden := filepath.Join("testdata", "golden", name+".txt")
+			got := render(fs)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("findings differ from %s (re-run with -update):\ngot:\n%swant:\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// has reports whether a finding of the kind exists at file:line.
+func has(fs []staticlint.Finding, kind, file string, line int) bool {
+	for _, f := range fs {
+		if f.Kind == kind && strings.HasSuffix(f.File, file) && f.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TestVetApps checks that both analyzers statically rediscover the
+// anti-pattern classes behind the Table II fixes at their real source
+// locations in the model applications.
+func TestVetApps(t *testing.T) {
+	bf, err := staticlint.Vet("../apps/broadleaf", broadleaf.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := staticlint.Vet("../apps/shopizer", shopizer.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		fs   []staticlint.Finding
+		kind string
+		file string
+		line int
+		why  string
+	}{
+		{bf, staticlint.KindMergeSelectInsert, "broadleaf/api.go", 38, "d1: Register's Merge (fix f1)"},
+		{bf, staticlint.KindUpsertCandidate, "broadleaf/api.go", 167, "d2: cartLock's check-then-insert (fix f2)"},
+		{bf, staticlint.KindFlushReorder, "broadleaf/api.go", 86, "d5: Add2's buffered offer counter (fix f4)"},
+		{bf, staticlint.KindFlushReorder, "broadleaf/api.go", 87, "d6: Add2's buffered fulfillment counter (fix f4)"},
+		{bf, staticlint.KindUnorderedLocks, "broadleaf/api.go", 433, "Checkout's per-item quantity loop (Sec. V-D applock site)"},
+		{sf, staticlint.KindUnorderedLocks, "shopizer/api.go", 94, "d14-d16: priceProducts' per-product loop (fix f9)"},
+		{sf, staticlint.KindUnorderedLocks, "shopizer/api.go", 185, "d18: readCartProducts' loop (fix f11)"},
+		{sf, staticlint.KindUnorderedLocks, "shopizer/api.go", 207, "d16/d17: commitProducts' loop (fix f10)"},
+		{sf, staticlint.KindUpsertCandidate, "shopizer/api.go", 60, "Add's check-then-insert of the cart item"},
+		{sf, staticlint.KindLockOrderInversion, "shopizer/api.go", 100, "d14: priceProducts' read-then-write upgrade on Product"},
+	}
+	for _, c := range checks {
+		if !has(c.fs, c.kind, c.file, c.line) {
+			t.Errorf("missing %s at %s:%d (%s)\nall findings:\n%s", c.kind, c.file, c.line, c.why, render(c.fs))
+		}
+	}
+	// The fixed helper must stay clean: serializeProducts sorts before
+	// locking (fix f9's implementation).
+	for _, f := range sf {
+		if f.Func == "serializeProducts" {
+			t.Errorf("false positive on the sorted lock helper: %s", f)
+		}
+	}
+}
+
+// TestJSONRoundTrip locks the versioned -json schema.
+func TestJSONRoundTrip(t *testing.T) {
+	fs, err := staticlint.Vet("../apps/shopizer", shopizer.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := staticlint.EncodeJSON(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := staticlint.DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, back) {
+		t.Fatalf("findings did not round-trip through JSON")
+	}
+	if _, err := staticlint.DecodeJSON([]byte(`{"version":99,"findings":[]}`)); err == nil {
+		t.Fatal("expected version mismatch error")
+	}
+	var empty []staticlint.Finding
+	data, err = staticlint.EncodeJSON(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err = staticlint.DecodeJSON(data); err != nil || len(back) != 0 {
+		t.Fatalf("empty report round-trip: %v %v", back, err)
+	}
+}

@@ -1,0 +1,123 @@
+package staticlint
+
+import (
+	"testing"
+
+	"weseer/internal/schema"
+	"weseer/internal/sqlast"
+)
+
+func testSchema() *schema.Schema {
+	s := schema.New()
+	s.AddTable("T").
+		Col("ID", schema.Int).Col("V", schema.Int).Col("K", schema.Int).
+		PrimaryKey("ID").
+		Index("idx_t_k", "K")
+	return s
+}
+
+func sel(t *testing.T, sql string, rigid map[int]string, empty Emptiness) StmtShape {
+	t.Helper()
+	st, err := sqlast.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return StmtShape{Stmt: st, Rigid: rigid, Empty: empty}
+}
+
+// Two point statements pinned to different primary keys lock provably
+// disjoint rows: the refined edge test must refute them, while the
+// index-level test (which they exist to sharpen) cannot.
+func TestEdgeRefutedByRigidKeys(t *testing.T) {
+	scm := testSchema()
+	w := sel(t, "UPDATE T SET V = ? WHERE ID = ?", map[int]string{1: "i:1"}, EmptyUnknown)
+	r := sel(t, "SELECT * FROM T t WHERE t.ID = ?", map[int]string{0: "i:2"}, EmptyNo)
+	if EdgePossible(w, r, scm) {
+		t.Fatal("disjoint rigid point rows must not form a C-edge")
+	}
+	// Same key: collision.
+	r1 := sel(t, "SELECT * FROM T t WHERE t.ID = ?", map[int]string{0: "i:1"}, EmptyNo)
+	if !EdgePossible(w, r1, scm) {
+		t.Fatal("same rigid key must collide")
+	}
+	// Free parameter: any row is reachable.
+	r2 := sel(t, "SELECT * FROM T t WHERE t.ID = ?", nil, EmptyNo)
+	if !EdgePossible(w, r2, scm) {
+		t.Fatal("a free parameter must stay conservative")
+	}
+	// Inline constants pin keys just like rigid parameters.
+	w3 := sel(t, "UPDATE T SET V = ? WHERE ID = 3", nil, EmptyUnknown)
+	r3 := sel(t, "SELECT * FROM T t WHERE t.ID = 4", nil, EmptyNo)
+	if EdgePossible(w3, r3, scm) {
+		t.Fatal("disjoint inline-constant rows must not form a C-edge")
+	}
+}
+
+// An empty read holds a range (next-key) lock, not a row lock: key
+// disequality must NOT refute it — the write can land inside the range.
+func TestEdgeKeepsRangeLocks(t *testing.T) {
+	scm := testSchema()
+	w := sel(t, "UPDATE T SET V = ? WHERE ID = ?", map[int]string{1: "i:1"}, EmptyUnknown)
+	r := sel(t, "SELECT * FROM T t WHERE t.ID = ?", map[int]string{0: "i:2"}, EmptyYes)
+	if !EdgePossible(w, r, scm) {
+		t.Fatal("range locks are never refuted by point-key disequality")
+	}
+	// Secondary (non-unique) index scans also stay.
+	r2 := sel(t, "SELECT * FROM T t WHERE t.K = ?", map[int]string{0: "i:2"}, EmptyNo)
+	if !EdgePossible(w, r2, scm) {
+		t.Fatal("non-unique index access must stay conservative")
+	}
+}
+
+func TestCyclePossible(t *testing.T) {
+	scm := testSchema()
+	upd := func(key string) StmtShape {
+		m := map[int]string{}
+		if key != "" {
+			m[1] = key
+		}
+		return sel(t, "UPDATE T SET V = ? WHERE ID = ?", m, EmptyUnknown)
+	}
+	// Free keys: the classic hold-and-wait cycle stands.
+	if !CyclePossible(upd(""), upd(""), upd(""), upd(""), scm) {
+		t.Fatal("free-key cycle must be possible")
+	}
+	// One C-edge joins provably different rows: the cycle is refuted.
+	if CyclePossible(upd("i:1"), upd("i:1"), upd("i:2"), upd("i:2"), scm) {
+		t.Fatal("rigidly disjoint cycle must be refuted")
+	}
+}
+
+func TestPairDeadlockPossible(t *testing.T) {
+	scm := testSchema()
+	read := func(key string) StmtShape {
+		m := map[int]string{}
+		if key != "" {
+			m[0] = key
+		}
+		return sel(t, "SELECT * FROM T t WHERE t.ID = ?", m, EmptyNo)
+	}
+	write := func(key string) StmtShape {
+		m := map[int]string{}
+		if key != "" {
+			m[1] = key
+		}
+		return sel(t, "UPDATE T SET V = ? WHERE ID = ?", m, EmptyUnknown)
+	}
+	// Upgrade pattern: S then X on the same shared row — deadlock shape.
+	up := TxnShape{API: "up", Stmts: []StmtShape{read(""), write("")}}
+	if !PairDeadlockPossible(up, up, scm) {
+		t.Fatal("upgrade pair must stay a candidate")
+	}
+	// One statement each: hold-and-wait needs two lock points per side.
+	one := TxnShape{API: "one", Stmts: []StmtShape{write("")}}
+	if PairDeadlockPossible(one, one, scm) {
+		t.Fatal("single-statement transactions cannot hold and wait")
+	}
+	// Rigidly disjoint rows: every edge is refuted.
+	t1 := TxnShape{API: "a", Stmts: []StmtShape{read("i:1"), write("i:1")}}
+	t2 := TxnShape{API: "b", Stmts: []StmtShape{read("i:2"), write("i:2")}}
+	if PairDeadlockPossible(t1, t2, scm) {
+		t.Fatal("transactions on disjoint rigid rows cannot deadlock")
+	}
+}

@@ -1,0 +1,659 @@
+package staticlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"weseer/internal/schema"
+	"weseer/internal/sqlast"
+)
+
+// Analyzer 2's view of the session API: the method names through which
+// the ORM reads, locks, buffers, and flushes. Query/Find/Exec/Lazy send
+// statements (and take locks) at the call site; Set buffers a row
+// modification until the flush.
+var (
+	readMethods = map[string]bool{"Query": true, "Find": true, "Lazy": true}
+	lockMethods = map[string]bool{"Query": true, "Find": true, "Exec": true, "Lazy": true}
+	sortFuncs   = map[string]bool{"Slice": true, "SliceStable": true, "Sort": true, "Ints": true, "Strings": true, "Float64s": true}
+)
+
+// sessionMethods are never resolved as package-local callees.
+var sessionMethods = map[string]bool{
+	"Query": true, "Find": true, "Lazy": true, "Exec": true, "Set": true,
+	"Persist": true, "Merge": true, "Remove": true, "Flush": true,
+	"NewEntity": true, "Begin": true, "Commit": true, "Rollback": true,
+	"Transactional": true, "Lock": true, "Unlock": true,
+}
+
+// funcSummary is the one-level callee summary: does calling this
+// package-local function read through the session, and does it take
+// database or mutex locks?
+type funcSummary struct {
+	reads bool
+	locks bool
+}
+
+// event is one interpreted action of a function body, in source order.
+type eventKind uint8
+
+const (
+	evWrite eventKind = iota // buffered Set on a pre-existing entity
+	evRead                   // session read: Query/Find/Lazy or a reading callee
+	evFlush                  // explicit Flush
+	evLock                   // lock-taking op: Query/Find/Exec/Lazy/.Lock() or callee
+)
+
+type event struct {
+	kind    eventKind
+	pos     token.Pos
+	line    int
+	uncond  bool   // evFlush: not inside a conditional/loop body
+	entTab  string // evWrite: entity's table, "" if unresolved
+	col     string // evWrite: written column
+	summary bool   // event inferred from a callee summary
+}
+
+// Template fragments extracted for Analyzer 1. Finds and Sets need the
+// schema (primary-key column) to materialize, so they stay symbolic
+// until Shapes.
+type tmplKind uint8
+
+const (
+	tmplSQL  tmplKind = iota // literal SQL passed to Query/Exec
+	tmplFind                 // Find(table, id): primary-key point SELECT
+	tmplSet                  // Set on existing entity: buffered UPDATE
+)
+
+type tmpl struct {
+	kind       tmplKind
+	pos        token.Pos // trigger site
+	sentPos    token.Pos // send site: pos, the next Flush, or commit (last)
+	line       int
+	sql        string // tmplSQL
+	table, col string // tmplFind / tmplSet
+	slid       bool   // tmplSet: a session read follows the trigger, pre-flush
+}
+
+type loopInfo struct {
+	pos       token.Pos
+	line      int
+	body      [2]token.Pos
+	rangedVar string // ident ranged over, "" for non-ident expressions
+	rangeExpr string // printable form for the finding detail
+}
+
+type ifInfo struct {
+	pos      token.Pos
+	line     int
+	emptyVar string // Cond is len(emptyVar) == 0
+	body     [2]token.Pos
+}
+
+// fnFacts is everything the detectors and the template extraction need
+// about one function, produced by a single in-order interpretation.
+type fnFacts struct {
+	name     string
+	file     string
+	events   []event
+	tmpls    []tmpl
+	loops    []loopInfo
+	ifs      []ifInfo
+	merges   []event // Merge call sites
+	persists []event // Persist call sites
+	queried  map[string]bool
+}
+
+type pkgScan struct {
+	fset  *token.FileSet
+	dir   string
+	decls []*ast.FuncDecl
+	sums  map[string]funcSummary
+	recvs map[string]string // func name -> declared receiver ident ("" = plain func)
+	facts []*fnFacts
+}
+
+// scanDir parses every non-test .go file in dir (stdlib go/parser only)
+// and interprets each function.
+func scanDir(dir string) (*pkgScan, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &pkgScan{fset: token.NewFileSet(), dir: dir, sums: map[string]funcSummary{}, recvs: map[string]string{}}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(p.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("staticlint: %w", err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				p.decls = append(p.decls, fd)
+			}
+		}
+	}
+	sort.Slice(p.decls, func(i, j int) bool { return p.decls[i].Pos() < p.decls[j].Pos() })
+	for _, fd := range p.decls {
+		name := fd.Name.Name
+		if sessionMethods[name] {
+			continue
+		}
+		recv := ""
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			recv = fd.Recv.List[0].Names[0].Name
+		}
+		p.recvs[name] = recv
+		sum := funcSummary{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := methodName(call); ok {
+				sum.reads = sum.reads || readMethods[m]
+				sum.locks = sum.locks || lockMethods[m] || m == "Lock"
+			}
+			return true
+		})
+		p.sums[name] = sum
+	}
+	for _, fd := range p.decls {
+		p.facts = append(p.facts, p.interpret(fd))
+	}
+	return p, nil
+}
+
+// methodName returns the selector method name of a call (`x.M(...)`).
+func methodName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func identName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func strLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+func looksLikeSQL(s string) bool {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	for _, kw := range []string{"SELECT ", "INSERT ", "UPDATE ", "DELETE "} {
+		if strings.HasPrefix(up, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// interpret runs the single in-source-order pass over one function body,
+// tracking entity origins (NewEntity / Find / Query rows) and recording
+// events, template fragments, loops, and branch shapes.
+func (p *pkgScan) interpret(fd *ast.FuncDecl) *fnFacts {
+	pos := p.fset.Position(fd.Pos())
+	facts := &fnFacts{name: fd.Name.Name, file: filepath.ToSlash(pos.Filename), queried: map[string]bool{}}
+
+	// Collection pass: gather nodes, then process calls in source order.
+	type copyAct struct {
+		pos token.Pos
+		lhs string
+		rhs ast.Expr
+	}
+	var copies []copyAct
+	var calls []*ast.CallExpr
+	binds := map[*ast.CallExpr][]string{} // call -> LHS idents
+	var condRanges [][2]token.Pos
+	sorted := map[string]bool{}
+	rangeBind := map[string]string{} // range value ident -> source collection ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			calls = append(calls, s)
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					for _, l := range s.Lhs {
+						if name := identName(l); name != "" && name != "_" {
+							binds[call] = append(binds[call], name)
+						}
+					}
+				} else if len(s.Lhs) == 1 {
+					if name := identName(s.Lhs[0]); name != "" && name != "_" {
+						copies = append(copies, copyAct{pos: s.Pos(), lhs: name, rhs: s.Rhs[0]})
+					}
+				}
+			}
+		case *ast.IfStmt:
+			condRanges = append(condRanges, [2]token.Pos{s.Body.Pos(), s.Body.End()})
+			if s.Else != nil {
+				condRanges = append(condRanges, [2]token.Pos{s.Else.Pos(), s.Else.End()})
+			}
+			if v, ok := lenIsZero(s.Cond); ok {
+				facts.ifs = append(facts.ifs, ifInfo{
+					pos: s.Pos(), line: p.fset.Position(s.Pos()).Line,
+					emptyVar: v, body: [2]token.Pos{s.Body.Pos(), s.Body.End()},
+				})
+			}
+		case *ast.ForStmt:
+			condRanges = append(condRanges, [2]token.Pos{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			condRanges = append(condRanges, [2]token.Pos{s.Body.Pos(), s.Body.End()})
+			li := loopInfo{
+				pos: s.Pos(), line: p.fset.Position(s.Pos()).Line,
+				body:      [2]token.Pos{s.Body.Pos(), s.Body.End()},
+				rangedVar: identName(s.X),
+				rangeExpr: exprString(s.X),
+			}
+			facts.loops = append(facts.loops, li)
+			if v := identName(s.Value); v != "" && li.rangedVar != "" {
+				rangeBind[v] = li.rangedVar
+			}
+		case *ast.CaseClause:
+			if len(s.Body) > 0 {
+				condRanges = append(condRanges, [2]token.Pos{s.Body[0].Pos(), s.Body[len(s.Body)-1].End()})
+			}
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+	inCond := func(at token.Pos) bool {
+		for _, r := range condRanges {
+			if at >= r[0] && at < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	newEnts := map[string]bool{}       // idents created by NewEntity here
+	entityTable := map[string]string{} // entity ident -> table
+	queryVar := map[string]string{}    // query-result slice ident -> table
+
+	resolveEntity := func(e ast.Expr) (table string, isNew bool, known bool) {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if newEnts[x.Name] {
+				return entityTable[x.Name], true, true
+			}
+			if t, ok := entityTable[x.Name]; ok {
+				return t, false, true
+			}
+			if src, ok := rangeBind[x.Name]; ok {
+				if t, ok := queryVar[src]; ok {
+					return t, false, true
+				}
+			}
+		case *ast.IndexExpr:
+			if base := identName(x.X); base != "" {
+				if t, ok := queryVar[base]; ok {
+					return t, false, true
+				}
+			}
+		}
+		return "", false, false
+	}
+
+	// applyCopies propagates entity/result-set origins through plain
+	// `x := y` / `x := rows[i]` assignments, in source order.
+	sort.Slice(copies, func(i, j int) bool { return copies[i].pos < copies[j].pos })
+	applyCopies := func(upTo token.Pos) {
+		for len(copies) > 0 && copies[0].pos <= upTo {
+			c := copies[0]
+			copies = copies[1:]
+			switch r := c.rhs.(type) {
+			case *ast.Ident:
+				if t, ok := entityTable[r.Name]; ok {
+					entityTable[c.lhs] = t
+					if newEnts[r.Name] {
+						newEnts[c.lhs] = true
+					} else {
+						delete(newEnts, c.lhs)
+					}
+				} else if src, ok := rangeBind[r.Name]; ok {
+					if t := queryVar[src]; t != "" {
+						entityTable[c.lhs] = t
+						delete(newEnts, c.lhs)
+					}
+				} else if t, ok := queryVar[r.Name]; ok {
+					queryVar[c.lhs] = t
+				}
+			case *ast.IndexExpr:
+				if base := identName(r.X); base != "" {
+					if t, ok := queryVar[base]; ok && t != "" {
+						entityTable[c.lhs] = t
+						delete(newEnts, c.lhs)
+					}
+				}
+			}
+		}
+	}
+
+	addEvent := func(e event) { facts.events = append(facts.events, e) }
+
+	for _, call := range calls {
+		at := call.Pos()
+		applyCopies(at)
+		line := p.fset.Position(at).Line
+		// sort.<Fn>(x, ...) marks x as ordered.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if identName(sel.X) == "sort" && sortFuncs[sel.Sel.Name] && len(call.Args) > 0 {
+				if v := identName(call.Args[0]); v != "" {
+					sorted[v] = true
+				}
+				continue
+			}
+		}
+		m, isMethod := methodName(call)
+		if !isMethod {
+			m = identName(call.Fun)
+		}
+		switch {
+		case m == "NewEntity" && isMethod:
+			for _, lhs := range binds[call] {
+				newEnts[lhs] = true
+				if len(call.Args) > 0 {
+					if t, ok := strLit(call.Args[0]); ok {
+						entityTable[lhs] = t
+					}
+				}
+			}
+		case m == "Find" && isMethod:
+			tab := ""
+			if len(call.Args) > 0 {
+				tab, _ = strLit(call.Args[0])
+			}
+			for _, lhs := range binds[call] {
+				delete(newEnts, lhs)
+				if tab != "" {
+					entityTable[lhs] = tab
+				}
+			}
+			if tab != "" {
+				facts.tmpls = append(facts.tmpls, tmpl{kind: tmplFind, pos: at, line: line, table: tab})
+			}
+			addEvent(event{kind: evRead, pos: at, line: line})
+			addEvent(event{kind: evLock, pos: at, line: line})
+		case m == "Query" && isMethod:
+			tab := ""
+			if len(call.Args) > 0 {
+				if sql, ok := strLit(call.Args[0]); ok && looksLikeSQL(sql) {
+					facts.tmpls = append(facts.tmpls, tmpl{kind: tmplSQL, pos: at, line: line, sql: sql})
+					target := ""
+					if len(call.Args) >= 3 {
+						target, _ = strLit(call.Args[2])
+					}
+					tab = aliasTable(sql, target)
+				}
+			}
+			for _, lhs := range binds[call] {
+				queryVar[lhs] = tab
+				facts.queried[lhs] = true
+			}
+			addEvent(event{kind: evRead, pos: at, line: line})
+			addEvent(event{kind: evLock, pos: at, line: line})
+		case m == "Lazy" && isMethod:
+			addEvent(event{kind: evRead, pos: at, line: line})
+			addEvent(event{kind: evLock, pos: at, line: line})
+		case m == "Exec" && isMethod:
+			if len(call.Args) > 0 {
+				if sql, ok := strLit(call.Args[0]); ok && looksLikeSQL(sql) {
+					facts.tmpls = append(facts.tmpls, tmpl{kind: tmplSQL, pos: at, line: line, sql: sql})
+				}
+			}
+			addEvent(event{kind: evLock, pos: at, line: line})
+		case m == "Set" && isMethod && len(call.Args) >= 2:
+			tab, isNew, known := resolveEntity(call.Args[0])
+			if isNew {
+				break // building a new row: its lock is the Persist INSERT's
+			}
+			col, _ := strLit(call.Args[1])
+			ev := event{kind: evWrite, pos: at, line: line, col: col}
+			if known {
+				ev.entTab = tab
+			}
+			addEvent(ev)
+			if known && tab != "" && col != "" {
+				facts.tmpls = append(facts.tmpls, tmpl{kind: tmplSet, pos: at, line: line, table: tab, col: col})
+			}
+		case m == "Persist" && isMethod:
+			facts.persists = append(facts.persists, event{pos: at, line: line})
+		case m == "Merge" && isMethod:
+			facts.merges = append(facts.merges, event{pos: at, line: line})
+			addEvent(event{kind: evRead, pos: at, line: line})
+			addEvent(event{kind: evLock, pos: at, line: line})
+		case m == "Flush" && isMethod:
+			addEvent(event{kind: evFlush, pos: at, line: line, uncond: !inCond(at)})
+		case m == "Lock":
+			addEvent(event{kind: evLock, pos: at, line: line})
+		case m != "" && !sessionMethods[m]:
+			// One-level callee summary. A method call only resolves to a
+			// package-local method when the call's receiver ident matches
+			// the declared receiver name (a cheap stand-in for go/types:
+			// it separates `a.priceCart(...)` from `e.Add(...)`).
+			sum, ok := p.sums[m]
+			if ok && isMethod {
+				sel := call.Fun.(*ast.SelectorExpr)
+				ok = p.recvs[m] != "" && identName(sel.X) == p.recvs[m]
+			} else if ok {
+				ok = p.recvs[m] == ""
+			}
+			if ok {
+				if sum.reads {
+					addEvent(event{kind: evRead, pos: at, line: line, summary: true})
+				}
+				if sum.locks {
+					addEvent(event{kind: evLock, pos: at, line: line, summary: true})
+				}
+			}
+		}
+	}
+
+	// A buffered Set "slides" when a session read follows its trigger
+	// site (directly, or around the loop it sits in) with no
+	// unconditional Flush in between; a Flush also re-anchors the
+	// statement's send position from commit back to the flush site.
+	var flushes []token.Pos
+	for _, ev := range facts.events {
+		if ev.kind == evFlush && ev.uncond {
+			flushes = append(flushes, ev.pos)
+		}
+	}
+	nextFlush := func(after token.Pos) (token.Pos, bool) {
+		for _, f := range flushes {
+			if f > after {
+				return f, true
+			}
+		}
+		return 0, false
+	}
+	for i := range facts.tmpls {
+		t := &facts.tmpls[i]
+		t.sentPos = t.pos
+		if t.kind != tmplSet {
+			continue
+		}
+		fl, flushed := nextFlush(t.pos)
+		if flushed {
+			t.sentPos = fl
+		} else {
+			t.sentPos = token.Pos(1 << 30) // commit: after every sent statement
+		}
+		for _, ev := range facts.events {
+			if ev.kind == evRead && ev.pos > t.pos && (!flushed || ev.pos < fl) {
+				t.slid = true
+			}
+		}
+		if !t.slid && !flushed {
+			for _, lp := range facts.loops {
+				if t.pos < lp.body[0] || t.pos >= lp.body[1] {
+					continue
+				}
+				for _, ev := range facts.events {
+					if ev.kind == evRead && ev.pos >= lp.body[0] && ev.pos < lp.body[1] {
+						t.slid = true
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(facts.tmpls, func(i, j int) bool { return facts.tmpls[i].sentPos < facts.tmpls[j].sentPos })
+	facts.loopsSuppress(sorted)
+	return facts
+}
+
+// loopsSuppress drops loops whose ranged collection was explicitly
+// sorted earlier in the function — provably ordered acquisition.
+func (f *fnFacts) loopsSuppress(sorted map[string]bool) {
+	kept := f.loops[:0]
+	for _, lp := range f.loops {
+		if lp.rangedVar != "" && sorted[lp.rangedVar] {
+			continue
+		}
+		kept = append(kept, lp)
+	}
+	f.loops = kept
+}
+
+// lenIsZero matches `len(x) == 0`.
+func lenIsZero(cond ast.Expr) (string, bool) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return "", false
+	}
+	call, ok := bin.X.(*ast.CallExpr)
+	if !ok || identName(call.Fun) != "len" || len(call.Args) != 1 {
+		return "", false
+	}
+	lit, ok := bin.Y.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT || lit.Value != "0" {
+		return "", false
+	}
+	return identName(call.Args[0]), true
+}
+
+// aliasTable resolves which table the query's target alias selects.
+func aliasTable(sql, target string) string {
+	st, err := sqlast.Parse(sql)
+	if err != nil {
+		return ""
+	}
+	aliases := sqlast.AliasMapOf(st)
+	if t, ok := aliases[target]; ok {
+		return t
+	}
+	if tabs := st.Tables(); len(tabs) == 1 {
+		return tabs[0]
+	}
+	return ""
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.CallExpr:
+		if m, ok := methodName(x); ok {
+			return m + "(...)"
+		}
+		if n := identName(x.Fun); n != "" {
+			return n + "(...)"
+		}
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	}
+	return "expression"
+}
+
+// Shapes materializes each function's extracted statement templates as a
+// TxnShape for Analyzer 1, in send order: statements sent at their call
+// sites first, then the buffered updates the flush emits at commit.
+// Buffered updates are marked Deferred only when a read genuinely
+// follows their trigger site (the d5/d6 reorder). scm, when present,
+// supplies primary-key columns for Find and Set synthesis.
+func (p *pkgScan) Shapes(scm *schema.Schema) []TxnShape {
+	var out []TxnShape
+	for _, f := range p.facts {
+		sh := TxnShape{API: f.name}
+		for _, t := range f.tmpls { // already in send order (sentPos)
+			switch t.kind {
+			case tmplSQL:
+				st, err := sqlast.Parse(t.sql)
+				if err != nil {
+					continue
+				}
+				sh.Stmts = append(sh.Stmts, StmtShape{Stmt: st, File: f.file, Line: t.line})
+			case tmplFind:
+				if sql, ok := pointSelect(scm, t.table); ok {
+					sh.Stmts = append(sh.Stmts, StmtShape{Stmt: sqlast.MustParse(sql), File: f.file, Line: t.line})
+				}
+			case tmplSet:
+				if sql, ok := bufferedUpdate(scm, t.table, t.col); ok {
+					sh.Stmts = append(sh.Stmts, StmtShape{
+						Stmt: sqlast.MustParse(sql), Deferred: t.slid, File: f.file, Line: t.line,
+					})
+				}
+			}
+		}
+		if len(sh.Stmts) > 0 {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+func pkColumn(scm *schema.Schema, table string) (string, bool) {
+	if scm == nil {
+		return "", false
+	}
+	t := scm.Table(table)
+	if t == nil {
+		return "", false
+	}
+	pk := t.PrimaryIndex()
+	if pk == nil || len(pk.Columns) != 1 {
+		return "", false
+	}
+	return pk.Columns[0], true
+}
+
+func pointSelect(scm *schema.Schema, table string) (string, bool) {
+	pk, ok := pkColumn(scm, table)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("SELECT * FROM %s t WHERE t.%s = ?", table, pk), true
+}
+
+func bufferedUpdate(scm *schema.Schema, table, col string) (string, bool) {
+	if pk, ok := pkColumn(scm, table); ok {
+		if pk == col {
+			return "", false // key rewrite, not the buffered-counter shape
+		}
+		return fmt.Sprintf("UPDATE %s SET %s = ? WHERE %s = ?", table, col, pk), true
+	}
+	return fmt.Sprintf("UPDATE %s SET %s = ?", table, col), true
+}

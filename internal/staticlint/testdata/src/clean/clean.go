@@ -1,0 +1,40 @@
+// Package clean holds the fixed counterparts of the f2/f4/f9 fixtures;
+// both analyzers must report nothing here.
+package clean
+
+import "sort"
+
+// upsertRow replaces check-then-insert with a single UPSERT (fix f2).
+func upsertRow(s *session, id int64) {
+	s.Exec(`INSERT INTO AppLock (ID, LOCKED) VALUES (?, ?) ON DUPLICATE KEY UPDATE LOCKED = ?`, id)
+}
+
+// flushedCounter flushes the buffered write before the read, restoring
+// program order (fix f4).
+func flushedCounter(s *session, id int64) {
+	offer := s.Find("Offer", id)
+	s.Set(offer, "USES", bump(offer))
+	if err := s.Flush(); err != nil {
+		return
+	}
+	s.Query(`SELECT * FROM OfferStat st WHERE st.ID = ?`, id, "st")
+}
+
+// priceAllSorted acquires the per-row locks in ascending order (fix
+// f9/f10).
+func priceAllSorted(s *session, ids []int64) {
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.Exec(`UPDATE Product SET POPULARITY = ? WHERE ID = ?`, id)
+	}
+}
+
+// insertAll only creates rows: the INSERT locks are on fresh keys, not
+// shared pre-existing entities.
+func insertAll(s *session, rows []int64) {
+	for _, r := range rows {
+		en := s.NewEntity("AuditLog")
+		s.Set(en, "ROW", r)
+		s.Persist(en)
+	}
+}

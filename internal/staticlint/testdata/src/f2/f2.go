@@ -1,0 +1,20 @@
+// Package f2 exhibits the check-then-insert anti-patterns behind
+// Broadleaf's fixes f1/f2 (Table II): an existence query range-locks the
+// absent key and the buffered INSERT then collides with a concurrent
+// peer's range lock, and Merge issues the same SELECT-then-INSERT
+// internally.
+package f2
+
+func checkThenInsert(s *session, id int64) {
+	locks := s.Query(`SELECT * FROM AppLock al WHERE al.ID = ?`, id, "al")
+	if len(locks) == 0 {
+		l := s.NewEntity("AppLock")
+		s.Set(l, "ID", id)
+		s.Set(l, "LOCKED", one)
+		s.Persist(l)
+	}
+}
+
+func mergeNewRow(s *session, c *entity) {
+	s.Merge(c)
+}

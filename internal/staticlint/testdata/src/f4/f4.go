@@ -1,0 +1,11 @@
+// Package f4 exhibits the write-behind flush reordering behind
+// Broadleaf's fix f4 (the d5/d6 class): a buffered counter update whose
+// UPDATE is deferred to commit, past the stat-row read that follows it
+// in program order.
+package f4
+
+func deferredCounter(s *session, id int64) {
+	offer := s.Find("Offer", id)
+	s.Set(offer, "USES", bump(offer))
+	s.Query(`SELECT * FROM OfferStat st WHERE st.ID = ?`, id, "st")
+}

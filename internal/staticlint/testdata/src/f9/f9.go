@@ -1,0 +1,17 @@
+// Package f9 exhibits the unordered multi-entity lock acquisition
+// behind Shopizer's fixes f9–f11 (d14–d18): per-element row updates and
+// mutex locks over collections with no proven order, so two concurrent
+// callers acquire in different orders and deadlock.
+package f9
+
+func priceAll(s *session, ids []int64) {
+	for _, id := range ids {
+		s.Exec(`UPDATE Product SET POPULARITY = ? WHERE ID = ?`, id)
+	}
+}
+
+func lockAll(a *app, ids []int64) {
+	for _, id := range ids {
+		a.mu[id].Lock()
+	}
+}

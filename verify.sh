@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md). Every check must pass:
+#   build, go vet, gofmt cleanliness, full test suite.
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go test ./..."
+go test ./...
+
+echo "verify: OK"
