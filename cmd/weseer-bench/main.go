@@ -12,12 +12,22 @@
 //
 // Absolute numbers depend on this machine; the paper's claims are about
 // shape (who wins, by what order of magnitude, where the crossover sits).
+//
+// table2 additionally benchmarks the parallel memoized pipeline: the
+// same diagnosis at Parallelism=1 and at -parallel N, verifying the two
+// reports are byte-identical and measuring wall time, solver calls, and
+// memo hits. -out FILE (e.g. -out BENCH_table2.json) writes those
+// numbers as versioned JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"weseer/internal/apps/appkit"
@@ -26,12 +36,16 @@ import (
 	"weseer/internal/concolic"
 	"weseer/internal/core"
 	"weseer/internal/minidb"
+	"weseer/internal/schema"
+	"weseer/internal/trace"
 	"weseer/internal/workload"
 )
 
 var (
-	duration = flag.Duration("duration", 500*time.Millisecond, "per-configuration workload duration (fig10/fig11)")
-	clientsF = flag.String("clients", "8,64,128", "client counts for fig10/fig11")
+	duration  = flag.Duration("duration", 500*time.Millisecond, "per-configuration workload duration (fig10/fig11)")
+	clientsF  = flag.String("clients", "8,64,128", "client counts for fig10/fig11")
+	parallelF = flag.Int("parallel", 4, "worker count for the table2 parallel-pipeline comparison")
+	outF      = flag.String("out", "", "write the table2 pipeline benchmark as versioned JSON to this file")
 )
 
 func main() {
@@ -156,6 +170,106 @@ func table2() {
 	saved := blPre.Stats.PrescreenSaved + shPre.Stats.PrescreenSaved
 	fmt.Printf("solver calls: %d without prescreen -> %d with (%d saved, %d reports unchanged)\n",
 		off, on, saved, len(blPre.Deadlocks)+len(shPre.Deadlocks))
+
+	pipelineBench(blTraces, shTraces)
+}
+
+// pipelineRun is one timed diagnosis of both apps at a fixed worker
+// count; the two reports are concatenated for the identity check.
+type pipelineRun struct {
+	WallMS       int64 `json:"wall_ms"`
+	GroupsSolved int   `json:"groups_solved"`
+	SolverCalls  int   `json:"solver_calls"`
+	MemoHits     int   `json:"memo_hits"`
+	Deadlocks    int   `json:"deadlocks"`
+
+	rendered string
+	found    int
+}
+
+// pipelineJSON is the versioned -out payload of the table2 pipeline
+// benchmark.
+type pipelineJSON struct {
+	Version          int         `json:"version"`
+	Parallelism      int         `json:"parallelism"`
+	Serial           pipelineRun `json:"serial"`
+	Parallel         pipelineRun `json:"parallel"`
+	Speedup          float64     `json:"speedup"`
+	MemoHitRate      float64     `json:"memo_hit_rate"`
+	Table2Found      int         `json:"table2_found"`
+	Table2Catalog    int         `json:"table2_catalog"`
+	ReportsIdentical bool        `json:"reports_identical"`
+}
+
+func timedRun(blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
+	diagnose := func(scm *schema.Schema, traces []*trace.Trace, classify func(*core.Deadlock) string, b *strings.Builder, r *pipelineRun) {
+		res, err := core.NewAnalyzer(scm, core.WithParallelism(workers)).AnalyzeContext(context.Background(), traces)
+		check(err)
+		r.GroupsSolved += res.Stats.GroupsSolved
+		r.SolverCalls += res.Stats.SolverCalls
+		r.MemoHits += res.Stats.MemoHits
+		r.Deadlocks += len(res.Deadlocks)
+		seen := map[string]bool{}
+		for _, d := range res.Deadlocks {
+			b.WriteString(d.Render())
+			if id := classify(d); id != "" && id != "extra" && id != "fp-checkout-applock" && !seen[id] {
+				seen[id] = true
+				r.found++
+			}
+		}
+	}
+	var r pipelineRun
+	var b strings.Builder
+	start := time.Now()
+	diagnose(broadleaf.Schema(), blTraces, broadleaf.Classify, &b, &r)
+	diagnose(shopizer.Schema(), shTraces, shopizer.Classify, &b, &r)
+	r.WallMS = time.Since(start).Milliseconds()
+	r.rendered = b.String()
+	return r
+}
+
+// pipelineBench compares the diagnosis at Parallelism=1 and -parallel N
+// over the Table II workload, checks the reports are byte-identical, and
+// optionally writes the numbers to -out.
+func pipelineBench(blTraces, shTraces []*trace.Trace) {
+	workers := *parallelF
+	fmt.Printf("\nparallel pipeline (Parallelism=1 vs %d, memoized):\n", workers)
+	serial := timedRun(blTraces, shTraces, 1)
+	par := timedRun(blTraces, shTraces, workers)
+
+	identical := serial.rendered == par.rendered
+	out := pipelineJSON{
+		Version:          1,
+		Parallelism:      workers,
+		Serial:           serial,
+		Parallel:         par,
+		Table2Found:      par.found,
+		Table2Catalog:    len(broadleaf.Expectations()) + len(shopizer.Expectations()),
+		ReportsIdentical: identical,
+	}
+	if par.WallMS > 0 {
+		out.Speedup = float64(serial.WallMS) / float64(par.WallMS)
+	}
+	if par.GroupsSolved > 0 {
+		out.MemoHitRate = float64(par.MemoHits) / float64(par.GroupsSolved)
+	}
+
+	fmt.Printf("  serial:   %4d ms wall, %d groups via %d solver calls (%d memo hits)\n",
+		serial.WallMS, serial.GroupsSolved, serial.SolverCalls, serial.MemoHits)
+	fmt.Printf("  parallel: %4d ms wall, %d groups via %d solver calls (%d memo hits)\n",
+		par.WallMS, par.GroupsSolved, par.SolverCalls, par.MemoHits)
+	fmt.Printf("  speedup %.2fx, memo hit rate %.0f%%, reports byte-identical: %v, Table II %d/%d\n",
+		out.Speedup, 100*out.MemoHitRate, identical, out.Table2Found, out.Table2Catalog)
+	if !identical {
+		fmt.Println("  WARNING: parallel report differs from serial — determinism bug")
+	}
+
+	if *outF != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*outF, append(data, '\n'), 0o644))
+		fmt.Printf("  wrote %s\n", *outF)
+	}
 }
 
 // ---------------------------------------------------------------------------

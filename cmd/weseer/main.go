@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-reproduce] [-v]
+//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v]
 //	weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen]
+//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json]
 //	weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]
 //
 // "run" pipes collection into analysis; "collect"/"analyze" split the
@@ -17,6 +17,13 @@
 // Sec. V-D future-work items. -prescreen enables the Phase-0 static
 // screen that discards trivially-UNSAT candidates before the solver.
 //
+// -parallel sets the phase-3 worker count (0 = GOMAXPROCS); the report
+// is identical at any setting. -timeout bounds the analysis wall time
+// (e.g. 30s), and ctrl-C cancels it; either way the partial report
+// gathered so far is printed. -json emits the machine-readable report
+// (funnel stats including solver calls and memo hits, plus one entry
+// per deadlock) instead of text.
+//
 // "vet" runs the static analyzers alone — no trace collection, no
 // solver: the template-level deadlock pre-screen and the Go-source
 // ORM-misuse lint over the given directories (default: the app's
@@ -25,11 +32,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"time"
 
 	"weseer/internal/apps/appkit"
 	"weseer/internal/apps/broadleaf"
@@ -70,9 +81,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-reproduce] [-v]
+  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v]
   weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen]
+  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json]
   weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]`)
 }
 
@@ -111,6 +122,9 @@ func cmdRun(args []string) error {
 	coarse := fs.Bool("coarse", false, "STEPDAD/REDACT-style coarse baseline (no SMT)")
 	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
 	plans := fs.Bool("plans", false, "restrict lock modeling to recorded execution plans (Sec. V-D)")
+	parallel := fs.Int("parallel", 0, "phase-3 worker count (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "bound the analysis wall time (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report instead of text")
 	reproduce := fs.Bool("reproduce", false, "replay every report against a live database (Sec. V-D)")
 	verbose := fs.Bool("v", false, "print every deadlock report")
 	fs.Parse(args)
@@ -123,12 +137,24 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("collected %d traces:\n", len(traces))
-	for _, tr := range traces {
-		fmt.Printf("  %-10s %2d txns, %2d statements, %3d path conditions\n",
-			tr.API, len(tr.Txns), tr.Stats.Statements, tr.Stats.PathConds)
+	if !*jsonOut {
+		fmt.Printf("collected %d traces:\n", len(traces))
+		for _, tr := range traces {
+			fmt.Printf("  %-10s %2d txns, %2d statements, %3d path conditions\n",
+				tr.API, len(tr.Txns), tr.Stats.Statements, tr.Stats.PathConds)
+		}
 	}
-	res := core.New(app.schema, core.Options{CoarseOnly: *coarse, StaticPrescreen: *prescreen, UseConcretePlans: *plans}).Analyze(traces)
+	opts := analysisOptions(*coarse, *prescreen, *parallel)
+	if *plans {
+		opts = append(opts, core.WithConcretePlans())
+	}
+	res, err := analyzeCtx(app, traces, *timeout, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(res, app.classify)
+	}
 	printReport(res, app.classify, *verbose)
 	if *reproduce && !*coarse {
 		fmt.Println("\nautomatic reproduction (replaying each cycle against a rebuilt database):")
@@ -188,6 +214,9 @@ func cmdAnalyze(args []string) error {
 	in := fs.String("i", "traces.json", "input trace file")
 	coarse := fs.Bool("coarse", false, "coarse baseline (no SMT)")
 	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
+	parallel := fs.Int("parallel", 0, "phase-3 worker count (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "bound the analysis wall time (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report instead of text")
 	verbose := fs.Bool("v", false, "print every deadlock report")
 	fs.Parse(args)
 
@@ -203,9 +232,55 @@ func cmdAnalyze(args []string) error {
 	if err := json.Unmarshal(data, &traces); err != nil {
 		return err
 	}
-	res := core.New(app.schema, core.Options{CoarseOnly: *coarse, StaticPrescreen: *prescreen}).Analyze(traces)
+	res, err := analyzeCtx(app, traces, *timeout, analysisOptions(*coarse, *prescreen, *parallel))
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(res, app.classify)
+	}
 	printReport(res, app.classify, *verbose)
 	return nil
+}
+
+// analysisOptions translates the shared CLI flags into analyzer options.
+func analysisOptions(coarse, prescreen bool, parallel int) []core.Option {
+	var opts []core.Option
+	if coarse {
+		opts = append(opts, core.WithCoarseOnly())
+	}
+	if prescreen {
+		opts = append(opts, core.WithPrescreen())
+	}
+	if parallel > 0 {
+		opts = append(opts, core.WithParallelism(parallel))
+	}
+	return opts
+}
+
+// analyzeCtx runs the diagnosis under ctrl-C cancellation and an
+// optional deadline. On interruption the partial report is still
+// printed (after a note on stderr), since a truncated funnel is more
+// useful than nothing when a run is cut short.
+func analyzeCtx(app *appUnit, traces []*trace.Trace, timeout time.Duration, opts []core.Option) (*core.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := core.NewAnalyzer(app.schema, opts...).AnalyzeContext(ctx, traces)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "weseer: interrupted — printing partial report")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "weseer: %v timeout hit — printing partial report\n", timeout)
+	default:
+		return nil, err
+	}
+	return res, nil
 }
 
 // cmdVet runs the static analyzers (internal/staticlint) over source
@@ -269,6 +344,83 @@ func cmdVet(args []string) error {
 	if max, ok := staticlint.MaxSeverity(findings); ok && max >= threshold {
 		os.Exit(1)
 	}
+	return nil
+}
+
+// jsonReport is the machine-readable analysis report (-json). Version
+// bumps whenever a field changes meaning.
+type jsonReport struct {
+	Version int           `json:"version"`
+	Stats   jsonStats     `json:"stats"`
+	Reports []jsonDeadlck `json:"deadlocks"`
+}
+
+type jsonStats struct {
+	Traces           int   `json:"traces"`
+	Pairs            int   `json:"txn_pairs"`
+	PairsAfterPhase1 int   `json:"pairs_after_phase1"`
+	CoarseCycles     int   `json:"coarse_cycles"`
+	LockFiltered     int   `json:"lock_filtered"`
+	PrescreenPairs   int   `json:"prescreen_pairs"`
+	PrescreenPruned  int   `json:"prescreen_pairs_pruned"`
+	PrescreenSaved   int   `json:"prescreen_saved"`
+	GroupsSolved     int   `json:"groups_solved"`
+	SolverCalls      int   `json:"solver_calls"`
+	MemoHits         int   `json:"memo_hits"`
+	SAT              int   `json:"sat"`
+	UNSAT            int   `json:"unsat"`
+	Unknown          int   `json:"unknown"`
+	Parallelism      int   `json:"parallelism"`
+	SolverTimeMS     int64 `json:"solver_time_ms"`
+	EnumTimeMS       int64 `json:"enum_time_ms"`
+	FineTimeMS       int64 `json:"fine_time_ms"`
+}
+
+type jsonDeadlck struct {
+	Catalog string    `json:"catalog"` // Table II entry id, "" if unclassified
+	APIs    [2]string `json:"apis"`
+	Tables  [2]string `json:"tables"`
+	Count   int       `json:"count"` // coarse cycles folded into the report
+}
+
+func statsJSON(s core.Stats) jsonStats {
+	return jsonStats{
+		Traces:           s.Traces,
+		Pairs:            s.Pairs,
+		PairsAfterPhase1: s.PairsAfterPhase1,
+		CoarseCycles:     s.CoarseCycles,
+		LockFiltered:     s.LockFiltered,
+		PrescreenPairs:   s.PrescreenPairs,
+		PrescreenPruned:  s.PrescreenPairsPruned,
+		PrescreenSaved:   s.PrescreenSaved,
+		GroupsSolved:     s.GroupsSolved,
+		SolverCalls:      s.SolverCalls,
+		MemoHits:         s.MemoHits,
+		SAT:              s.SolverSAT,
+		UNSAT:            s.SolverUNSAT,
+		Unknown:          s.SolverUnknown,
+		Parallelism:      s.Parallelism,
+		SolverTimeMS:     s.SolverTime.Milliseconds(),
+		EnumTimeMS:       s.EnumTime.Milliseconds(),
+		FineTimeMS:       s.FineTime.Milliseconds(),
+	}
+}
+
+func printJSON(res *core.Result, classify func(*core.Deadlock) string) error {
+	rep := jsonReport{Version: 1, Stats: statsJSON(res.Stats), Reports: []jsonDeadlck{}}
+	for _, d := range res.Deadlocks {
+		rep.Reports = append(rep.Reports, jsonDeadlck{
+			Catalog: classify(d),
+			APIs:    d.APIs,
+			Tables:  [2]string{d.Cycle.Table1, d.Cycle.Table2},
+			Count:   d.Count,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
 	return nil
 }
 

@@ -12,51 +12,27 @@
 //     modeling (Alg. 2/3), conjoined with the traces' path conditions and
 //     discharged by the SMT solver; only SAT cycles are reported, with a
 //     satisfying assignment of API inputs and database state.
+//
+// The diagnosis runs as an explicit staged pipeline (pipeline.go):
+// stages 1–2 enumerate candidate cycles serially and group them into
+// dedup-key chains; stage 3 discharges the chains on a bounded worker
+// pool with solver-call memoization (memo.go); stage 4 merges per-chain
+// outcomes in canonical order, so the report is deterministic — byte
+// identical — at every parallelism setting.
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
-	"weseer/internal/lockmodel"
 	"weseer/internal/schema"
 	"weseer/internal/smt"
-	"weseer/internal/solver"
 	"weseer/internal/staticlint"
 	"weseer/internal/trace"
 )
-
-// Options configure an analysis run.
-type Options struct {
-	// CoarseOnly stops after phase 2 and reports raw coarse cycles — the
-	// STEPDAD/REDACT baseline mode (Sec. VII-B).
-	CoarseOnly bool
-	// SkipPhase1 disables the transaction-level filter (ablation).
-	SkipPhase1 bool
-	// SkipLockFilter disables the quick lock-collision test before SMT
-	// solving (ablation: every coarse cycle goes to the solver).
-	SkipLockFilter bool
-	// UseConcretePlans restricts lock modeling to each statement's
-	// recorded execution plan instead of every possible index — the
-	// paper's Sec. V-D future-work refinement, removing the
-	// all-join-orders source of false positives.
-	UseConcretePlans bool
-	// StaticPrescreen enables Phase-0: before lock generation and SMT
-	// discharge, candidate pairs and cycle groups are screened against
-	// the template-level lock-order analysis (internal/staticlint).
-	// Statements pinned to provably disjoint rigid point keys cannot
-	// collide, so refuted groups skip the solver entirely. The screen is
-	// an over-approximation: it only discards candidates whose conflict
-	// condition the solver would find trivially UNSAT, never a
-	// satisfiable cycle.
-	StaticPrescreen bool
-	// Solver bounds each satisfiability check.
-	Solver solver.Limits
-	// MaxCyclesPerPair caps coarse-cycle enumeration per transaction pair
-	// (0 = unlimited).
-	MaxCyclesPerPair int
-}
 
 // Analyzer runs deadlock diagnosis over collected traces.
 type Analyzer struct {
@@ -66,7 +42,9 @@ type Analyzer struct {
 }
 
 // prescreenState caches the static shapes Phase-0 screens against, so
-// each transaction instance is abstracted once per run.
+// each transaction instance is abstracted once per run. It is populated
+// during serial enumeration and only read afterwards, so the phase-3
+// workers may consult it without locking.
 type prescreenState struct {
 	txns  map[*trace.Txn]staticlint.TxnShape
 	stmts map[*trace.Stmt]staticlint.StmtShape
@@ -84,11 +62,6 @@ func (ps *prescreenState) shape(api string, txn *trace.Txn) staticlint.TxnShape 
 		ps.stmts[st] = sh.Stmts[k]
 	}
 	return sh
-}
-
-// New returns an analyzer for a schema.
-func New(scm *schema.Schema, opts Options) *Analyzer {
-	return &Analyzer{scm: scm, opts: opts}
 }
 
 // instance is one renamed transaction instance.
@@ -126,49 +99,32 @@ type Deadlock struct {
 	Count int
 }
 
-// Stats counts work per phase.
-type Stats struct {
-	Traces           int
-	Pairs            int // transaction instance pairs considered
-	PairsAfterPhase1 int // pairs surviving the transaction-level filter
-	CoarseCycles     int // SC-graph deadlock cycles found in phase 2
-	LockFiltered     int // cycles discarded by the lock-collision test
-	GroupsSolved     int // deduplicated cycle groups sent to the solver
-
-	// Phase-0 static prescreen counters (zero unless StaticPrescreen).
-	PrescreenPairs       int // pairs examined by the static pair screen
-	PrescreenPairsPruned int // pairs discarded before cycle enumeration
-	PrescreenSaved       int // solver calls avoided by group refutation
-	SolverSAT            int
-	SolverUNSAT          int
-	SolverUnknown        int
-	SolverTime           time.Duration
-}
-
-// Result is the outcome of Analyze.
-type Result struct {
-	Deadlocks []*Deadlock
-	Stats     Stats
-}
-
-// Analyze runs the three-phase diagnosis over the traces. Each trace
-// contributes two renamed instances ("A1.", "A2."), and every cross-
-// instance transaction pair — including pairs drawn from two different
-// APIs' traces — is examined, matching the paper's setup.
+// Analyze runs the three-phase diagnosis over the traces.
+//
+// Deprecated: use AnalyzeContext, which supports cancellation and
+// reports it as an error.
 func (a *Analyzer) Analyze(traces []*trace.Trace) *Result {
+	res, _ := a.AnalyzeContext(context.Background(), traces)
+	return res
+}
+
+// AnalyzeContext runs the three-phase diagnosis over the traces. Each
+// trace contributes two renamed instances ("A1.", "A2."), and every
+// cross-instance transaction pair — including pairs drawn from two
+// different APIs' traces — is examined, matching the paper's setup.
+//
+// Phase 3 runs on Options.Parallelism concurrent workers (default
+// GOMAXPROCS); the returned report does not depend on the worker count
+// or scheduling. When ctx is canceled mid-run the partial result
+// gathered so far is returned together with ctx.Err().
+func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*Result, error) {
 	res := &Result{}
 	res.Stats.Traces = len(traces)
-
-	// Pre-rename each trace once per role.
-	inst1 := make([]*trace.Trace, len(traces))
-	inst2 := make([]*trace.Trace, len(traces))
-	for i, tr := range traces {
-		inst1[i] = tr.Rename("A1.")
-		inst2[i] = tr.Rename("A2.")
+	workers := a.opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-
-	groups := map[string]*Deadlock{}
-	var order []string
+	res.Stats.Parallelism = workers
 
 	a.ps = nil
 	if a.opts.StaticPrescreen {
@@ -178,10 +134,59 @@ func (a *Analyzer) Analyze(traces []*trace.Trace) *Result {
 		}
 	}
 
+	// Stages 1–2 (serial): pair filtering and coarse-cycle enumeration,
+	// grouped into dedup-key chains in first-occurrence order.
+	start := time.Now()
+	chains, err := a.enumerate(ctx, traces, res)
+	res.Stats.EnumTime = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 3 (parallel) + stage 4 (deterministic merge).
+	start = time.Now()
+	err = a.discharge(ctx, chains, workers, res)
+	res.Stats.FineTime = time.Since(start)
+
+	sort.SliceStable(res.Deadlocks, func(x, y int) bool {
+		return res.Deadlocks[x].Key < res.Deadlocks[y].Key
+	})
+	return res, err
+}
+
+// enumerate runs phases 1 and 2: transaction-pair filtering, the Phase-0
+// pair screen, and coarse-cycle enumeration. Candidate cycles sharing a
+// dedup key are collected into one chain, preserving global enumeration
+// order both across chains and within each chain.
+func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Result) ([]*chain, error) {
+	// Pre-rename each trace once per role.
+	inst1 := make([]*trace.Trace, len(traces))
+	inst2 := make([]*trace.Trace, len(traces))
+	for i, tr := range traces {
+		inst1[i] = tr.Rename("A1.")
+		inst2[i] = tr.Rename("A2.")
+	}
+
+	byKey := map[string]*chain{}
+	var chains []*chain
+	add := func(cyc Cycle) {
+		key := cyc.dedupKey()
+		ch, ok := byKey[key]
+		if !ok {
+			ch = &chain{key: key}
+			byKey[key] = ch
+			chains = append(chains, ch)
+		}
+		ch.cycles = append(ch.cycles, cyc)
+	}
+
 	for i := range traces {
 		for j := i; j < len(traces); j++ {
 			for _, t1 := range inst1[i].Txns {
 				for _, t2 := range inst2[j].Txns {
+					if err := ctx.Err(); err != nil {
+						return chains, err
+					}
 					p1 := &instance{API: traces[i].API, Prefix: "A1.", Txn: t1, Trace: inst1[i]}
 					p2 := &instance{API: traces[j].API, Prefix: "A2.", Txn: t2, Trace: inst2[j]}
 					res.Stats.Pairs++
@@ -198,19 +203,12 @@ func (a *Analyzer) Analyze(traces []*trace.Trace) *Result {
 							continue
 						}
 					}
-					a.analyzePair(p1, p2, res, groups, &order)
+					a.enumeratePair(p1, p2, res, add)
 				}
 			}
 		}
 	}
-
-	for _, k := range order {
-		res.Deadlocks = append(res.Deadlocks, groups[k])
-	}
-	sort.SliceStable(res.Deadlocks, func(x, y int) bool {
-		return res.Deadlocks[x].Key < res.Deadlocks[y].Key
-	})
-	return res
+	return chains, nil
 }
 
 // txnLevelConflict is phase 1: the pair can form a transaction conflict
@@ -252,14 +250,14 @@ func coarseConflictTable(s, t *trace.Stmt) string {
 	return ""
 }
 
-// analyzePair runs phases 2 and 3 for one transaction-instance pair.
-func (a *Analyzer) analyzePair(p1, p2 *instance, res *Result, groups map[string]*Deadlock, order *[]string) {
+// enumeratePair runs phase 2 for one transaction-instance pair: coarse
+// C-edges, then deadlock cycles. A cycle needs T1 to hold a lock from an
+// earlier statement while waiting at a later one (and symmetrically for
+// T2): S1a < S1b and S2a < S2b in execution order, with C-edges
+// (S1b, S2a) and (S2b, S1a).
+func (a *Analyzer) enumeratePair(p1, p2 *instance, res *Result, add func(Cycle)) {
 	s1, s2 := p1.Txn.Stmts, p2.Txn.Stmts
 
-	// Phase 2: coarse C-edges, then deadlock cycles. A cycle needs T1 to
-	// hold a lock from an earlier statement while waiting at a later one
-	// (and symmetrically for T2): S1a < S1b and S2a < S2b in execution
-	// order, with C-edges (S1b, S2a) and (S2b, S1a).
 	type cedge struct{ i, j int }
 	edgeTable := map[cedge]string{}
 	var edges []cedge
@@ -285,172 +283,14 @@ func (a *Analyzer) analyzePair(p1, p2 *instance, res *Result, groups map[string]
 			}
 			count++
 			res.Stats.CoarseCycles++
-			cyc := Cycle{
+			add(Cycle{
 				T1: p1, T2: p2,
 				S1a: s1[i1a], S1b: s1[i1b],
 				S2a: s2[i2a], S2b: s2[i2b],
 				Table1: edgeTable[e1], Table2: edgeTable[cedge{i1a, i2b}],
-			}
-			a.fineCheck(cyc, res, groups, order)
+			})
 		}
 	}
-}
-
-// fineCheck is phase 3 for one coarse cycle: quick lock-collision filter,
-// group deduplication, then SMT solving of conflict + path conditions.
-func (a *Analyzer) fineCheck(cyc Cycle, res *Result, groups map[string]*Deadlock, order *[]string) {
-	key := cyc.dedupKey()
-	if d, ok := groups[key]; ok {
-		d.Count++
-		return
-	}
-	if a.opts.CoarseOnly {
-		d := &Deadlock{Key: key, APIs: [2]string{cyc.T1.API, cyc.T2.API}, Cycle: cyc, Count: 1}
-		groups[key] = d
-		*order = append(*order, key)
-		return
-	}
-
-	// Quick filter: each C-edge needs a modeled lock collision.
-	if !a.opts.SkipLockFilter {
-		if !lockmodel.PotentialConflict(cyc.S1b, cyc.S2a, a.scm, a.opts.UseConcretePlans) ||
-			!lockmodel.PotentialConflict(cyc.S2b, cyc.S1a, a.scm, a.opts.UseConcretePlans) {
-			res.Stats.LockFiltered++
-			return
-		}
-	}
-
-	// Phase-0 group refutation: when every statement of the cycle has a
-	// static shape and one C-edge joins provably disjoint rigid point
-	// rows, the conflict condition is trivially UNSAT — skip the solver.
-	if a.ps != nil {
-		s1a, ok1 := a.ps.stmts[cyc.S1a]
-		s1b, ok2 := a.ps.stmts[cyc.S1b]
-		s2a, ok3 := a.ps.stmts[cyc.S2a]
-		s2b, ok4 := a.ps.stmts[cyc.S2b]
-		if ok1 && ok2 && ok3 && ok4 &&
-			!staticlint.CyclePossible(s1a, s1b, s2a, s2b, a.scm) {
-			res.Stats.PrescreenSaved++
-			return
-		}
-	}
-
-	formula := a.cycleFormula(cyc)
-	res.Stats.GroupsSolved++
-	start := time.Now()
-	sres := solver.SolveLimits(formula, a.opts.Solver)
-	res.Stats.SolverTime += time.Since(start)
-	switch sres.Status {
-	case solver.SAT:
-		res.Stats.SolverSAT++
-		d := &Deadlock{
-			Key:     key,
-			APIs:    [2]string{cyc.T1.API, cyc.T2.API},
-			Cycle:   cyc,
-			Formula: formula,
-			Model:   sres.Model,
-			Count:   1,
-		}
-		groups[key] = d
-		*order = append(*order, key)
-	case solver.UNSAT:
-		res.Stats.SolverUNSAT++
-	default:
-		// Timeouts are treated as "no deadlock reported" (Sec. III-B).
-		res.Stats.SolverUnknown++
-	}
-}
-
-// cycleFormula conjoins both C-edges' conflict conditions with the path
-// conditions recorded before each transaction's last involved statement
-// (Sec. V-B, fine-grained phase; the worked example is Fig. 9).
-//
-// Path conditions sharing no variables (transitively) with the conflict
-// conditions are dropped: the concrete execution that produced the trace
-// satisfies them by construction, so they cannot change satisfiability —
-// a cone-of-influence reduction that keeps solver formulas small.
-func (a *Analyzer) cycleFormula(cyc Cycle) smt.Expr {
-	nm := lockmodel.NewNamer("rng.")
-	edge1 := edgeCond(cyc.S1b, cyc.S2a, a.scm, "r1.", nm, a.opts.UseConcretePlans)
-	edge2 := edgeCond(cyc.S2b, cyc.S1a, a.scm, "r2.", nm, a.opts.UseConcretePlans)
-
-	last1 := maxSeq(cyc.S1a, cyc.S1b)
-	last2 := maxSeq(cyc.S2a, cyc.S2b)
-	var pcs []smt.Expr
-	pcs = append(pcs, cyc.T1.Trace.PathCondsBefore(last1)...)
-	pcs = append(pcs, cyc.T2.Trace.PathCondsBefore(last2)...)
-	parts := []smt.Expr{edge1, edge2}
-	parts = append(parts, coneOfInfluence(smt.VarSet(edge1, edge2), pcs)...)
-	return smt.And(parts...)
-}
-
-// coneOfInfluence keeps the conditions transitively connected to the seed
-// variable set.
-func coneOfInfluence(seed map[string]smt.Sort, conds []smt.Expr) []smt.Expr {
-	type entry struct {
-		cond smt.Expr
-		vars map[string]smt.Sort
-		in   bool
-	}
-	entries := make([]entry, len(conds))
-	for i, c := range conds {
-		entries[i] = entry{cond: c, vars: smt.VarSet(c)}
-	}
-	for changed := true; changed; {
-		changed = false
-		for i := range entries {
-			if entries[i].in {
-				continue
-			}
-			touch := false
-			for v := range entries[i].vars {
-				if _, ok := seed[v]; ok {
-					touch = true
-					break
-				}
-			}
-			if !touch {
-				continue
-			}
-			entries[i].in = true
-			changed = true
-			for v, s := range entries[i].vars {
-				seed[v] = s
-			}
-		}
-	}
-	var out []smt.Expr
-	for _, e := range entries {
-		if e.in {
-			out = append(out, e.cond)
-		}
-	}
-	return out
-}
-
-// edgeCond builds the conflict condition of one C-edge, trying both
-// writer orientations and disjoining the satisfiable directions.
-func edgeCond(x, y *trace.Stmt, scm *schema.Schema, rowPrefix string, nm *lockmodel.Namer, usePlans bool) smt.Expr {
-	var alts []smt.Expr
-	for _, o := range [2][2]*trace.Stmt{{x, y}, {y, x}} {
-		w, r := o[0], o[1]
-		wt := w.Parsed.WriteTable()
-		if wt == "" {
-			continue
-		}
-		accessed := false
-		for _, t := range r.Parsed.Tables() {
-			if t == wt {
-				accessed = true
-				break
-			}
-		}
-		if !accessed {
-			continue
-		}
-		alts = append(alts, lockmodel.GenConflictCond(w, r, scm, wt, rowPrefix, nm, usePlans))
-	}
-	return smt.Or(alts...)
 }
 
 func maxSeq(a, b *trace.Stmt) int {

@@ -1,0 +1,92 @@
+package core
+
+// Solver-call memoization for the parallel discharge stage.
+//
+// Candidate cycles from different transaction pairs frequently reduce to
+// alpha-equivalent conflict formulas (the same statement templates under
+// different instance prefixes). The memo table keys on the canonicalized
+// formula (smt.Canon) and solves the canonical expression itself, so the
+// cached verdict — including the satisfying model — is independent of
+// which candidate happened to compute it. Each caller then translates the
+// canonical model back through its own inverse rename map, which keeps
+// reports byte-identical whether a verdict came from the solver or the
+// cache, at any parallelism.
+//
+// The table is a singleflight: concurrent callers with the same key block
+// on the first caller's ready channel instead of solving twice. With that
+// discipline SolverCalls equals the number of distinct canonical keys
+// discharged, so the funnel stats are deterministic too.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"weseer/internal/smt"
+	"weseer/internal/solver"
+)
+
+type memoEntry struct {
+	ready  chan struct{}
+	status solver.Status
+	model  *smt.Model // canonical-space model (SAT only)
+}
+
+type memoTable struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{entries: map[string]*memoEntry{}}
+}
+
+// solve discharges formula through the table. The second return reports a
+// memo hit: the verdict was served from an already-computed (or
+// concurrently computing) entry without a solver call. The owner of a
+// miss charges the call and its wall time to out.
+func (m *memoTable) solve(ctx context.Context, formula smt.Expr, lim solver.Limits, out *chainOutcome) (solver.Result, bool) {
+	c := smt.Canon(formula)
+	m.mu.Lock()
+	if e, ok := m.entries[c.Key]; ok {
+		m.mu.Unlock()
+		select {
+		case <-e.ready:
+			return translateResult(e, c), true
+		case <-ctx.Done():
+			return solver.Result{Status: solver.UNKNOWN}, false
+		}
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	m.entries[c.Key] = e
+	m.mu.Unlock()
+
+	start := time.Now()
+	sres := solver.SolveCtx(ctx, c.Expr, lim)
+	out.solverTime += time.Since(start)
+	out.solverCalls++
+
+	if ctx.Err() != nil {
+		// A canceled solve yields UNKNOWN regardless of the formula —
+		// drop the entry rather than poison the table, then wake waiters
+		// (they share the canceled ctx and will bail the same way).
+		m.mu.Lock()
+		delete(m.entries, c.Key)
+		m.mu.Unlock()
+		e.status = solver.UNKNOWN
+		close(e.ready)
+		return solver.Result{Status: solver.UNKNOWN}, false
+	}
+
+	e.status = sres.Status
+	e.model = sres.Model
+	close(e.ready)
+	return translateResult(e, c), false
+}
+
+// translateResult maps an entry's canonical-space verdict back into the
+// caller's original variable (and, for constant-abstracted formulas,
+// value) space.
+func translateResult(e *memoEntry, c smt.CanonResult) solver.Result {
+	return solver.Result{Status: e.status, Model: smt.TranslateModel(e.model, c)}
+}

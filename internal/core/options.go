@@ -1,0 +1,123 @@
+package core
+
+import (
+	"weseer/internal/schema"
+	"weseer/internal/solver"
+)
+
+// Options configure an analysis run.
+//
+// Deprecated: the bool-flag struct is kept so existing callers compile
+// unchanged; new code should construct analyzers with NewAnalyzer and
+// functional options (WithParallelism, WithPrescreen, ...), which cover
+// every field here.
+type Options struct {
+	// CoarseOnly stops after phase 2 and reports raw coarse cycles — the
+	// STEPDAD/REDACT baseline mode (Sec. VII-B).
+	CoarseOnly bool
+	// SkipPhase1 disables the transaction-level filter (ablation).
+	SkipPhase1 bool
+	// SkipLockFilter disables the quick lock-collision test before SMT
+	// solving (ablation: every coarse cycle goes to the solver).
+	SkipLockFilter bool
+	// UseConcretePlans restricts lock modeling to each statement's
+	// recorded execution plan instead of every possible index — the
+	// paper's Sec. V-D future-work refinement, removing the
+	// all-join-orders source of false positives.
+	UseConcretePlans bool
+	// StaticPrescreen enables Phase-0: before lock generation and SMT
+	// discharge, candidate pairs and cycle groups are screened against
+	// the template-level lock-order analysis (internal/staticlint).
+	// Statements pinned to provably disjoint rigid point keys cannot
+	// collide, so refuted groups skip the solver entirely. The screen is
+	// an over-approximation: it only discards candidates whose conflict
+	// condition the solver would find trivially UNSAT, never a
+	// satisfiable cycle.
+	StaticPrescreen bool
+	// Solver bounds each satisfiability check.
+	Solver solver.Limits
+	// MaxCyclesPerPair caps coarse-cycle enumeration per transaction pair
+	// (0 = unlimited).
+	MaxCyclesPerPair int
+	// Parallelism is the number of concurrent phase-3 workers discharging
+	// candidate cycles (0 = GOMAXPROCS). Reports are deterministic at any
+	// setting: results are merged per candidate index in canonical order.
+	Parallelism int
+	// DisableMemo turns off solver-call memoization (ablation): every
+	// discharged candidate runs its own solver call on the original,
+	// un-canonicalized formula.
+	DisableMemo bool
+}
+
+// Option is a functional analysis option, applied by NewAnalyzer.
+type Option func(*Options)
+
+// WithParallelism sets the number of concurrent phase-3 workers
+// (n <= 0 selects GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(o *Options) { o.Parallelism = n }
+}
+
+// WithPrescreen enables the Phase-0 static prescreen (the weseer vet
+// template analysis): candidate pairs and cycle groups whose conflict
+// condition is provably UNSAT are discarded before the solver.
+func WithPrescreen() Option {
+	return func(o *Options) { o.StaticPrescreen = true }
+}
+
+// WithSolverLimits bounds each satisfiability check.
+func WithSolverLimits(l solver.Limits) Option {
+	return func(o *Options) { o.Solver = l }
+}
+
+// WithCoarseOnly stops after phase 2 and reports raw coarse cycles — the
+// STEPDAD/REDACT baseline mode (Sec. VII-B).
+func WithCoarseOnly() Option {
+	return func(o *Options) { o.CoarseOnly = true }
+}
+
+// WithConcretePlans restricts lock modeling to recorded execution plans
+// (the paper's Sec. V-D refinement).
+func WithConcretePlans() Option {
+	return func(o *Options) { o.UseConcretePlans = true }
+}
+
+// WithMaxCyclesPerPair caps coarse-cycle enumeration per transaction
+// pair (0 = unlimited).
+func WithMaxCyclesPerPair(n int) Option {
+	return func(o *Options) { o.MaxCyclesPerPair = n }
+}
+
+// WithoutPhase1 disables the transaction-level filter (ablation).
+func WithoutPhase1() Option {
+	return func(o *Options) { o.SkipPhase1 = true }
+}
+
+// WithoutLockFilter disables the quick lock-collision test before SMT
+// solving (ablation: every deduplicated coarse cycle goes to the solver).
+func WithoutLockFilter() Option {
+	return func(o *Options) { o.SkipLockFilter = true }
+}
+
+// WithoutMemo disables solver-call memoization (ablation).
+func WithoutMemo() Option {
+	return func(o *Options) { o.DisableMemo = true }
+}
+
+// NewAnalyzer returns an analyzer for a schema, configured by functional
+// options. This is the preferred constructor; New remains as a shim over
+// the legacy Options struct.
+func NewAnalyzer(scm *schema.Schema, opts ...Option) *Analyzer {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Analyzer{scm: scm, opts: o}
+}
+
+// New returns an analyzer for a schema.
+//
+// Deprecated: use NewAnalyzer with functional options.
+func New(scm *schema.Schema, opts Options) *Analyzer {
+	return &Analyzer{scm: scm, opts: opts}
+}

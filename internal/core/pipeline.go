@@ -1,0 +1,317 @@
+package core
+
+// Stage 3 of the diagnosis pipeline: fine-grained discharge of the
+// coarse cycles enumerated by stage 2, and the deterministic merge.
+//
+// Candidates sharing a dedup key form one chain, evaluated in order
+// until a cycle is confirmed SAT (remaining duplicates fold into the
+// report's Count, exactly as the serial analyzer folded them). Chains
+// are independent — no candidate's outcome can influence another
+// chain — so they are distributed over a bounded worker pool, while the
+// per-chain order preserves the serial semantics. Outcomes are merged
+// per chain index, so the assembled report is byte-identical to a
+// single-worker run.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"weseer/internal/lockmodel"
+	"weseer/internal/schema"
+	"weseer/internal/smt"
+	"weseer/internal/solver"
+	"weseer/internal/staticlint"
+	"weseer/internal/trace"
+)
+
+// chain is the ordered list of coarse cycles sharing one dedup key.
+type chain struct {
+	key    string
+	cycles []Cycle
+}
+
+// chainOutcome is one chain's contribution to the report and stats.
+type chainOutcome struct {
+	deadlock *Deadlock
+
+	lockFiltered   int
+	prescreenSaved int
+	groupsSolved   int
+	solverCalls    int
+	memoHits       int
+	sat, unsat     int
+	unknown        int
+	solverTime     time.Duration
+
+	err error
+}
+
+// discharge runs phase 3 over the chains on `workers` goroutines and
+// merges the outcomes in chain order. In coarse-only mode every chain
+// becomes a report without any solving.
+func (a *Analyzer) discharge(ctx context.Context, chains []*chain, workers int, res *Result) error {
+	if a.opts.CoarseOnly {
+		for _, ch := range chains {
+			cyc := ch.cycles[0]
+			res.Deadlocks = append(res.Deadlocks, &Deadlock{
+				Key:   ch.key,
+				APIs:  [2]string{cyc.T1.API, cyc.T2.API},
+				Cycle: cyc,
+				Count: len(ch.cycles),
+			})
+		}
+		return ctx.Err()
+	}
+
+	var memo *memoTable
+	if !a.opts.DisableMemo {
+		memo = newMemoTable()
+	}
+	if workers > len(chains) {
+		workers = len(chains)
+	}
+	outcomes := make([]chainOutcome, len(chains))
+	if workers <= 1 {
+		for i, ch := range chains {
+			outcomes[i] = a.evalChain(ctx, ch, memo)
+			if outcomes[i].err != nil {
+				break
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					outcomes[i] = a.evalChain(ctx, chains[i], memo)
+				}
+			}()
+		}
+	feed:
+		for i := range chains {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Stage 4: merge per chain index — chain order is the serial
+	// first-occurrence order, so aggregation is deterministic.
+	var err error
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil && err == nil {
+			err = o.err
+		}
+		res.Stats.LockFiltered += o.lockFiltered
+		res.Stats.PrescreenSaved += o.prescreenSaved
+		res.Stats.GroupsSolved += o.groupsSolved
+		res.Stats.SolverCalls += o.solverCalls
+		res.Stats.MemoHits += o.memoHits
+		res.Stats.SolverSAT += o.sat
+		res.Stats.SolverUNSAT += o.unsat
+		res.Stats.SolverUnknown += o.unknown
+		res.Stats.SolverTime += o.solverTime
+		if o.deadlock != nil {
+			res.Deadlocks = append(res.Deadlocks, o.deadlock)
+		}
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// evalChain discharges one chain: candidates are checked in enumeration
+// order until one is confirmed SAT; later duplicates fold into Count.
+func (a *Analyzer) evalChain(ctx context.Context, ch *chain, memo *memoTable) chainOutcome {
+	var out chainOutcome
+	for idx, cyc := range ch.cycles {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		d := a.fineCheckOne(ctx, cyc, ch.key, memo, &out)
+		if out.err != nil {
+			return out
+		}
+		if d != nil {
+			d.Count = len(ch.cycles) - idx
+			out.deadlock = d
+			return out
+		}
+	}
+	return out
+}
+
+// fineCheckOne is phase 3 for one coarse cycle: quick lock-collision
+// filter, Phase-0 group refutation, then (memoized) SMT solving of
+// conflict + path conditions. It returns a Deadlock when the cycle is
+// confirmed SAT.
+func (a *Analyzer) fineCheckOne(ctx context.Context, cyc Cycle, key string, memo *memoTable, out *chainOutcome) *Deadlock {
+	// Quick filter: each C-edge needs a modeled lock collision.
+	if !a.opts.SkipLockFilter {
+		if !lockmodel.PotentialConflict(cyc.S1b, cyc.S2a, a.scm, a.opts.UseConcretePlans) ||
+			!lockmodel.PotentialConflict(cyc.S2b, cyc.S1a, a.scm, a.opts.UseConcretePlans) {
+			out.lockFiltered++
+			return nil
+		}
+	}
+
+	// Phase-0 group refutation: when every statement of the cycle has a
+	// static shape and one C-edge joins provably disjoint rigid point
+	// rows, the conflict condition is trivially UNSAT — skip the solver.
+	if a.ps != nil {
+		s1a, ok1 := a.ps.stmts[cyc.S1a]
+		s1b, ok2 := a.ps.stmts[cyc.S1b]
+		s2a, ok3 := a.ps.stmts[cyc.S2a]
+		s2b, ok4 := a.ps.stmts[cyc.S2b]
+		if ok1 && ok2 && ok3 && ok4 &&
+			!staticlint.CyclePossible(s1a, s1b, s2a, s2b, a.scm) {
+			out.prescreenSaved++
+			return nil
+		}
+	}
+
+	formula := a.cycleFormula(cyc)
+	out.groupsSolved++
+
+	var sres solver.Result
+	if memo != nil {
+		var hit bool
+		sres, hit = memo.solve(ctx, formula, a.opts.Solver, out)
+		if hit {
+			out.memoHits++
+		}
+	} else {
+		start := time.Now()
+		sres = solver.SolveCtx(ctx, formula, a.opts.Solver)
+		out.solverTime += time.Since(start)
+		out.solverCalls++
+	}
+	if err := ctx.Err(); err != nil {
+		// A canceled solve reports UNKNOWN; don't let it skew the funnel.
+		out.groupsSolved--
+		out.err = err
+		return nil
+	}
+
+	switch sres.Status {
+	case solver.SAT:
+		out.sat++
+		return &Deadlock{
+			Key:     key,
+			APIs:    [2]string{cyc.T1.API, cyc.T2.API},
+			Cycle:   cyc,
+			Formula: formula,
+			Model:   sres.Model,
+			Count:   1,
+		}
+	case solver.UNSAT:
+		out.unsat++
+	default:
+		// Timeouts are treated as "no deadlock reported" (Sec. III-B).
+		out.unknown++
+	}
+	return nil
+}
+
+// cycleFormula conjoins both C-edges' conflict conditions with the path
+// conditions recorded before each transaction's last involved statement
+// (Sec. V-B, fine-grained phase; the worked example is Fig. 9).
+//
+// Path conditions sharing no variables (transitively) with the conflict
+// conditions are dropped: the concrete execution that produced the trace
+// satisfies them by construction, so they cannot change satisfiability —
+// a cone-of-influence reduction that keeps solver formulas small.
+func (a *Analyzer) cycleFormula(cyc Cycle) smt.Expr {
+	nm := lockmodel.NewNamer("rng.")
+	edge1 := edgeCond(cyc.S1b, cyc.S2a, a.scm, "r1.", nm, a.opts.UseConcretePlans)
+	edge2 := edgeCond(cyc.S2b, cyc.S1a, a.scm, "r2.", nm, a.opts.UseConcretePlans)
+
+	last1 := maxSeq(cyc.S1a, cyc.S1b)
+	last2 := maxSeq(cyc.S2a, cyc.S2b)
+	var pcs []smt.Expr
+	pcs = append(pcs, cyc.T1.Trace.PathCondsBefore(last1)...)
+	pcs = append(pcs, cyc.T2.Trace.PathCondsBefore(last2)...)
+	parts := []smt.Expr{edge1, edge2}
+	parts = append(parts, coneOfInfluence(smt.VarSet(edge1, edge2), pcs)...)
+	return smt.And(parts...)
+}
+
+// coneOfInfluence keeps the conditions transitively connected to the seed
+// variable set.
+func coneOfInfluence(seed map[string]smt.Sort, conds []smt.Expr) []smt.Expr {
+	type entry struct {
+		cond smt.Expr
+		vars map[string]smt.Sort
+		in   bool
+	}
+	entries := make([]entry, len(conds))
+	for i, c := range conds {
+		entries[i] = entry{cond: c, vars: smt.VarSet(c)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range entries {
+			if entries[i].in {
+				continue
+			}
+			touch := false
+			for v := range entries[i].vars {
+				if _, ok := seed[v]; ok {
+					touch = true
+					break
+				}
+			}
+			if !touch {
+				continue
+			}
+			entries[i].in = true
+			changed = true
+			for v, s := range entries[i].vars {
+				seed[v] = s
+			}
+		}
+	}
+	var out []smt.Expr
+	for _, e := range entries {
+		if e.in {
+			out = append(out, e.cond)
+		}
+	}
+	return out
+}
+
+// edgeCond builds the conflict condition of one C-edge, trying both
+// writer orientations and disjoining the satisfiable directions.
+func edgeCond(x, y *trace.Stmt, scm *schema.Schema, rowPrefix string, nm *lockmodel.Namer, usePlans bool) smt.Expr {
+	var alts []smt.Expr
+	for _, o := range [2][2]*trace.Stmt{{x, y}, {y, x}} {
+		w, r := o[0], o[1]
+		wt := w.Parsed.WriteTable()
+		if wt == "" {
+			continue
+		}
+		accessed := false
+		for _, t := range r.Parsed.Tables() {
+			if t == wt {
+				accessed = true
+				break
+			}
+		}
+		if !accessed {
+			continue
+		}
+		alts = append(alts, lockmodel.GenConflictCond(w, r, scm, wt, rowPrefix, nm, usePlans))
+	}
+	return smt.Or(alts...)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"weseer/internal/trace"
+)
+
+// finishOrderVariant is finishOrderTrace under another API name and code
+// location: its cycles get distinct dedup keys (so they are discharged
+// as separate groups) while their conflict formulas stay alpha-
+// equivalent — exactly the repetition the memo table exists for.
+func finishOrderVariant(api string, lineOff int) *trace.Trace {
+	tr := finishOrderTrace()
+	tr.API = api
+	for _, txn := range tr.Txns {
+		for _, st := range txn.Stmts {
+			st.Trigger.Frames[0].Line += lineOff
+		}
+	}
+	return tr
+}
+
+// pipelineTraces is a workload with several deadlocking APIs, so phase 3
+// has real chains to discharge and alpha-equivalent formulas to memoize.
+func pipelineTraces() []*trace.Trace {
+	return []*trace.Trace{
+		finishOrderTrace(), mergeTrace(), readOnlyTrace(),
+		finishOrderVariant("Reorder", 100),
+		finishOrderVariant("GiftCheckout", 200),
+	}
+}
+
+func TestParallelReportDeterministic(t *testing.T) {
+	// The acceptance bar for the parallel pipeline: at any worker count
+	// the report is identical to the serial run — same deadlocks in the
+	// same order, same models, same funnel counters, byte-identical
+	// rendering.
+	traces := pipelineTraces()
+	serial, err := NewAnalyzer(fig1Schema(), WithParallelism(1)).
+		AnalyzeContext(context.Background(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Deadlocks) == 0 {
+		t.Fatal("workload should produce deadlocks")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := NewAnalyzer(fig1Schema(), WithParallelism(workers)).
+			AnalyzeContext(context.Background(), traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Deadlocks, par.Deadlocks) {
+			t.Fatalf("parallelism=%d: deadlocks differ from serial run", workers)
+		}
+		if serial.Stats.WithoutTimings() != par.Stats.WithoutTimings() {
+			t.Fatalf("parallelism=%d: funnel stats differ: %+v vs %+v",
+				workers, serial.Stats.WithoutTimings(), par.Stats.WithoutTimings())
+		}
+		// Result.Render includes wall times, which legitimately vary;
+		// everything below the stats line must be byte-identical.
+		for i, d := range serial.Deadlocks {
+			if d.Render() != par.Deadlocks[i].Render() {
+				t.Fatalf("parallelism=%d: deadlock %d renders differently", workers, i)
+			}
+		}
+	}
+}
+
+func TestMemoServesRepeatedFormulas(t *testing.T) {
+	traces := pipelineTraces()
+	memo, err := NewAnalyzer(fig1Schema(), WithParallelism(1)).
+		AnalyzeContext(context.Background(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewAnalyzer(fig1Schema(), WithParallelism(1), WithoutMemo()).
+		AnalyzeContext(context.Background(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicated traces guarantee alpha-equivalent conflict formulas, so
+	// the memo table must convert some solver calls into hits; the split
+	// must account for every discharged group.
+	if memo.Stats.MemoHits == 0 {
+		t.Error("expected memo hits on a workload with duplicated traces")
+	}
+	if got := memo.Stats.SolverCalls + memo.Stats.MemoHits; got != memo.Stats.GroupsSolved {
+		t.Errorf("SolverCalls+MemoHits = %d, want GroupsSolved = %d", got, memo.Stats.GroupsSolved)
+	}
+	if memo.Stats.SolverCalls >= plain.Stats.SolverCalls {
+		t.Errorf("memoized run used %d solver calls, unmemoized %d — no saving",
+			memo.Stats.SolverCalls, plain.Stats.SolverCalls)
+	}
+
+	// Memoization is an optimization, never a semantic change: the same
+	// deadlocks are confirmed with the same verdict split. (The concrete
+	// models may differ — the solver picks an assignment for the canonical
+	// formula rather than the original — but both must exist for every
+	// confirmed deadlock.)
+	if plain.Stats.MemoHits != 0 || plain.Stats.SolverCalls != plain.Stats.GroupsSolved {
+		t.Errorf("ablated run should solve every group directly: %+v", plain.Stats)
+	}
+	if memo.Stats.SolverSAT != plain.Stats.SolverSAT ||
+		memo.Stats.SolverUNSAT != plain.Stats.SolverUNSAT ||
+		memo.Stats.GroupsSolved != plain.Stats.GroupsSolved {
+		t.Fatalf("verdict split differs: %+v vs %+v", memo.Stats, plain.Stats)
+	}
+	if len(memo.Deadlocks) != len(plain.Deadlocks) {
+		t.Fatalf("deadlock counts differ: %d vs %d", len(memo.Deadlocks), len(plain.Deadlocks))
+	}
+	for i, d := range memo.Deadlocks {
+		p := plain.Deadlocks[i]
+		if d.Key != p.Key || d.Count != p.Count || !reflect.DeepEqual(d.APIs, p.APIs) {
+			t.Errorf("deadlock %d differs: %s vs %s", i, d.Key, p.Key)
+		}
+		if (d.Model == nil) != (p.Model == nil) {
+			t.Errorf("deadlock %d: model presence differs", i)
+		}
+	}
+}
+
+func TestAnalyzeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewAnalyzer(fig1Schema(), WithParallelism(4)).
+		AnalyzeContext(ctx, pipelineTraces())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled run must still return the partial result")
+	}
+	// Nothing may be reported as confirmed after an immediate cancel: the
+	// discharge stage never ran to completion.
+	if res.Stats.SolverCalls != 0 {
+		t.Errorf("pre-canceled context still made %d solver calls", res.Stats.SolverCalls)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"weseer/internal/smt"
 	"weseer/internal/trace"
@@ -14,6 +15,59 @@ import (
 // state (usable to reproduce the deadlock), the SQL statements forming
 // the hold-and-wait cycle, and each statement's triggering code location
 // (Fig. 2's output box).
+
+// Result is a full diagnosis report: the confirmed deadlocks plus the
+// per-phase funnel statistics.
+type Result struct {
+	Deadlocks []*Deadlock
+	Stats     Stats
+}
+
+// Stats is the per-phase diagnosis funnel: how many candidates entered
+// and left each stage, and where the wall time went.
+type Stats struct {
+	Traces           int
+	Pairs            int // transaction instance pairs considered
+	PairsAfterPhase1 int // pairs surviving the transaction-level filter
+	CoarseCycles     int // SC-graph deadlock cycles found in phase 2
+	LockFiltered     int // cycles discarded by the lock-collision test
+	GroupsSolved     int // cycles discharged in the fine phase (memoized or not)
+
+	// Phase-0 static prescreen counters (zero unless StaticPrescreen).
+	PrescreenPairs       int // pairs examined by the static pair screen
+	PrescreenPairsPruned int // pairs discarded before cycle enumeration
+	PrescreenSaved       int // solver calls avoided by group refutation
+
+	// Memoization split of GroupsSolved: SolverCalls discharges actually
+	// ran the solver (one per distinct canonical formula); MemoHits were
+	// served from the memo table. SolverCalls + MemoHits == GroupsSolved
+	// unless memoization is disabled (then MemoHits is 0).
+	SolverCalls int
+	MemoHits    int
+
+	SolverSAT     int
+	SolverUNSAT   int
+	SolverUnknown int
+
+	// Parallelism is the phase-3 worker count the run used; the timings
+	// below depend on it, the rest of the report does not.
+	Parallelism int
+	SolverTime  time.Duration // cumulative in-solver time across workers
+	EnumTime    time.Duration // wall time of phases 1–2 (serial)
+	FineTime    time.Duration // wall time of phase 3 + merge
+}
+
+// WithoutTimings returns a copy with the fields that legitimately vary
+// between runs — wall times and the worker count — zeroed, leaving
+// exactly the deterministic funnel counters. Two runs of the same
+// analysis must agree on the result of this method at any parallelism.
+func (s Stats) WithoutTimings() Stats {
+	s.Parallelism = 0
+	s.SolverTime = 0
+	s.EnumTime = 0
+	s.FineTime = 0
+	return s
+}
 
 // Render formats the analysis result for developers.
 func (r *Result) Render() string {
@@ -33,10 +87,19 @@ func (s Stats) Render() string {
 		pre = fmt.Sprintf(" [prescreen: %d pairs screened, %d pruned, %d solver calls saved]",
 			s.PrescreenPairs, s.PrescreenPairsPruned, s.PrescreenSaved)
 	}
+	memo := ""
+	if s.MemoHits > 0 {
+		memo = fmt.Sprintf(", %d memo hits", s.MemoHits)
+	}
+	par := ""
+	if s.Parallelism > 1 {
+		par = fmt.Sprintf(" on %d workers", s.Parallelism)
+	}
 	return fmt.Sprintf(
-		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s",
+		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s",
 		s.Traces, s.Pairs, s.PairsAfterPhase1, s.CoarseCycles,
-		s.LockFiltered, s.GroupsSolved, s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), pre)
+		s.LockFiltered, s.GroupsSolved, s.SolverCalls, memo,
+		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, pre)
 }
 
 // Render formats one deadlock.

@@ -1,0 +1,77 @@
+package solver
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"weseer/internal/smt"
+)
+
+// hardFormula builds a formula the solver needs many DPLL iterations
+// for: a chain of disjunctions over disequalities forcing case splits.
+func hardFormula(n int) smt.Expr {
+	var parts []smt.Expr
+	for i := 0; i < n; i++ {
+		x := smt.NewVar("x"+string(rune('a'+i%26))+itoa(i), smt.SortInt)
+		y := smt.NewVar("y"+string(rune('a'+i%26))+itoa(i), smt.SortInt)
+		parts = append(parts,
+			smt.Or(smt.Ne(x, y), smt.Lt(smt.Add(x, y), smt.Int(int64(i)))),
+			smt.Ne(x, smt.Int(int64(i))),
+		)
+	}
+	return smt.And(parts...)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestSolveCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := hardFormula(12)
+	start := time.Now()
+	res := SolveCtx(ctx, f, Limits{})
+	if res.Status != UNKNOWN {
+		t.Fatalf("canceled solve returned %v, want UNKNOWN", res.Status)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("canceled solve took %v", el)
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	f := hardFormula(6)
+	a := Solve(f)
+	b := SolveCtx(context.Background(), f, Limits{})
+	if a.Status != b.Status {
+		t.Fatalf("Solve=%v SolveCtx=%v", a.Status, b.Status)
+	}
+	if a.Status == SAT && !smt.Eval(f, b.Model).B {
+		t.Fatal("SolveCtx model does not satisfy formula")
+	}
+}
+
+func TestSolveCtxCancelMidRun(t *testing.T) {
+	// A deadline that expires while solving: the solver must give up
+	// promptly instead of exhausting its theory-call budget.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	res := SolveCtx(ctx, hardFormula(20), Limits{})
+	if res.Status != UNKNOWN {
+		t.Fatalf("status = %v, want UNKNOWN", res.Status)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context should be expired")
+	}
+}

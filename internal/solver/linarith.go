@@ -163,6 +163,9 @@ type fmLimits struct {
 	maxConstraints int
 	maxNEBranch    int
 	maxIntDepth    int
+	// stop is polled between elimination rounds and branch-and-bound
+	// nodes; non-nil only under a cancelable context (see SolveCtx).
+	stop func() bool
 }
 
 func defaultFMLimits() fmLimits {
@@ -241,6 +244,9 @@ func solveNE(cons []*linCon, intVars map[string]bool, lim fmLimits, neBudget int
 // solveIntBB solves the rational relaxation and repairs fractional values
 // of integer variables by branch and bound.
 func solveIntBB(cons []*linCon, intVars map[string]bool, lim fmLimits, depth int) (map[string]*big.Rat, linStatus) {
+	if lim.stop != nil && lim.stop() {
+		return nil, linUNKNOWN
+	}
 	m, st := solveRational(cons, lim)
 	if st != linSAT {
 		return nil, st
@@ -358,6 +364,9 @@ func solveRational(cons []*linCon, lim fmLimits) (map[string]*big.Rat, linStatus
 
 	// Phase 2: Fourier–Motzkin on inequalities.
 	for {
+		if lim.stop != nil && lim.stop() {
+			return nil, linUNKNOWN
+		}
 		x := pickElimVar(work)
 		if x == "" {
 			break

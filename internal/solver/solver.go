@@ -10,6 +10,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -79,8 +80,22 @@ func Solve(f smt.Expr) Result { return SolveLimits(f, Limits{}) }
 
 // SolveLimits decides f under explicit resource limits.
 func SolveLimits(f smt.Expr, lim Limits) Result {
+	return SolveCtx(context.Background(), f, lim)
+}
+
+// SolveCtx decides f under explicit resource limits, honoring ctx
+// cancellation: the DPLL(T) loop and the Fourier–Motzkin elimination
+// rounds poll the context and abandon the search promptly once it is
+// done. A canceled call returns UNKNOWN; callers that need to tell
+// cancellation apart from a resource-limit UNKNOWN check ctx.Err().
+func SolveCtx(ctx context.Context, f smt.Expr, lim Limits) Result {
 	lim.setDefaults()
 	s := &session{lim: lim, atomByKey: map[string]int{}, intVars: map[string]bool{}}
+	if ctx != nil && ctx.Done() != nil {
+		stop := func() bool { return ctx.Err() != nil }
+		s.stop = stop
+		s.lim.FM.stop = stop
+	}
 	f = smt.Simplify(f)
 	for name, sort := range smt.VarSet(f) {
 		if sort == smt.SortInt {
@@ -132,6 +147,9 @@ func SolveLimits(f smt.Expr, lim Limits) Result {
 		return Result{Status: UNSAT, Stats: s.stats}
 	}
 	for s.stats.TheoryCalls < lim.MaxTheoryCalls {
+		if s.stop != nil && s.stop() {
+			return Result{Status: UNKNOWN, Stats: s.stats}
+		}
 		if !d.propagate() {
 			d.stats.Conflicts++
 			if !d.backtrack() {
@@ -199,6 +217,9 @@ type session struct {
 	selAtoms     []int // indices of aSel atoms
 	extraClauses [][]lit
 	stats        Stats
+	// stop is polled inside the DPLL(T) loop; non-nil only for SolveCtx
+	// calls whose context can actually be canceled.
+	stop func() bool
 	// lastAsn caches the most recent satisfying arithmetic assignment;
 	// successive theory checks mostly extend a consistent partial
 	// assignment, so re-evaluating the cached model avoids a full

@@ -22,4 +22,11 @@ fi
 echo "== go test ./..."
 go test ./...
 
+# The parallel discharge pipeline (worker pool + memo singleflight +
+# cancellation) is the concurrency-bearing code; run it under the race
+# detector. Scoped to the packages that actually spawn goroutines to
+# keep the gate fast.
+echo "== go test -race (core, solver, smt)"
+go test -race ./internal/core/... ./internal/solver/... ./internal/smt/...
+
 echo "verify: OK"

@@ -21,12 +21,16 @@
 //     caching, write-behind flushing, and lazy collections.
 //   - Concolic engine: NewEngine, Engine.MakeSymbolic, Engine.If.
 //   - Collection: UnitTest, Collect.
-//   - Analysis: Analyze — the three-phase deadlock diagnosis.
+//   - Analysis: AnalyzeContext — the three-phase deadlock diagnosis,
+//     with context cancellation, parallel solving, and functional
+//     options (WithParallelism, WithPrescreen, WithSolverLimits, ...).
 //
 // See examples/quickstart for an end-to-end walkthrough.
 package weseer
 
 import (
+	"context"
+
 	"weseer/internal/apps/appkit"
 	"weseer/internal/concolic"
 	"weseer/internal/core"
@@ -137,17 +141,65 @@ func Collect(tests []UnitTest, mode Mode) ([]*Trace, error) {
 
 // Analysis layer.
 type (
-	// AnalyzerOptions configure an analysis run.
-	AnalyzerOptions = core.Options
+	// Analyzer runs deadlock diagnosis over collected traces.
+	Analyzer = core.Analyzer
+	// AnalyzerOption is a functional analysis option for NewAnalyzer.
+	AnalyzerOption = core.Option
 	// AnalysisResult is the diagnosis outcome.
 	AnalysisResult = core.Result
+	// AnalysisStats is the per-phase diagnosis funnel.
+	AnalysisStats = core.Stats
 	// Deadlock is one reported deadlock.
 	Deadlock = core.Deadlock
 	// SolverLimits bound each satisfiability check.
 	SolverLimits = solver.Limits
+
+	// AnalyzerOptions configure an analysis run.
+	//
+	// Deprecated: use NewAnalyzer with functional options.
+	AnalyzerOptions = core.Options
 )
 
+// Functional analysis options, applied by NewAnalyzer.
+var (
+	// WithParallelism sets the number of concurrent phase-3 workers
+	// (n <= 0 selects GOMAXPROCS). Reports are deterministic at any
+	// setting.
+	WithParallelism = core.WithParallelism
+	// WithPrescreen enables the Phase-0 static prescreen.
+	WithPrescreen = core.WithPrescreen
+	// WithSolverLimits bounds each satisfiability check.
+	WithSolverLimits = core.WithSolverLimits
+	// WithCoarseOnly stops after phase 2 (STEPDAD/REDACT baseline).
+	WithCoarseOnly = core.WithCoarseOnly
+	// WithConcretePlans restricts lock modeling to recorded plans.
+	WithConcretePlans = core.WithConcretePlans
+	// WithMaxCyclesPerPair caps coarse-cycle enumeration per pair.
+	WithMaxCyclesPerPair = core.WithMaxCyclesPerPair
+	// WithoutPhase1 disables the transaction-level filter (ablation).
+	WithoutPhase1 = core.WithoutPhase1
+	// WithoutLockFilter disables the lock-collision test (ablation).
+	WithoutLockFilter = core.WithoutLockFilter
+	// WithoutMemo disables solver-call memoization (ablation).
+	WithoutMemo = core.WithoutMemo
+)
+
+// NewAnalyzer returns a deadlock analyzer for a schema, configured by
+// functional options.
+func NewAnalyzer(s *Schema, opts ...AnalyzerOption) *Analyzer {
+	return core.NewAnalyzer(s, opts...)
+}
+
+// AnalyzeContext runs WeSEER's three-phase deadlock diagnosis over the
+// traces, honoring ctx for cancellation. Equivalent to
+// NewAnalyzer(s, opts...).AnalyzeContext(ctx, traces).
+func AnalyzeContext(ctx context.Context, s *Schema, traces []*Trace, opts ...AnalyzerOption) (*AnalysisResult, error) {
+	return core.NewAnalyzer(s, opts...).AnalyzeContext(ctx, traces)
+}
+
 // Analyze runs WeSEER's three-phase deadlock diagnosis over the traces.
+//
+// Deprecated: use AnalyzeContext with functional options.
 func Analyze(s *Schema, traces []*Trace, opts AnalyzerOptions) *AnalysisResult {
 	return core.New(s, opts).Analyze(traces)
 }
