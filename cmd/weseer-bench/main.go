@@ -17,7 +17,15 @@
 // same diagnosis at Parallelism=1 and at -parallel N, verifying the two
 // reports are byte-identical and measuring wall time, solver calls, and
 // memo hits. -out FILE (e.g. -out BENCH_table2.json) writes those
-// numbers as versioned JSON.
+// numbers as versioned JSON, and -solverout FILE (e.g. -out
+// BENCH_solver.json) writes the solver-engine breakdown — per-phase
+// times plus CDCL counters (decisions, conflicts, propagations, learned
+// clauses, backjumps, theory calls) — against the recorded pre-CDCL
+// baseline. Both writes are gated on the serial and parallel reports
+// being byte-identical; a mismatch exits non-zero instead.
+//
+// -cpuprofile FILE and -memprofile FILE capture pprof profiles of
+// whatever experiments run.
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -42,15 +52,27 @@ import (
 )
 
 var (
-	duration  = flag.Duration("duration", 500*time.Millisecond, "per-configuration workload duration (fig10/fig11)")
-	clientsF  = flag.String("clients", "8,64,128", "client counts for fig10/fig11")
-	parallelF = flag.Int("parallel", 4, "worker count for the table2 parallel-pipeline comparison")
-	outF      = flag.String("out", "", "write the table2 pipeline benchmark as versioned JSON to this file")
+	duration   = flag.Duration("duration", 500*time.Millisecond, "per-configuration workload duration (fig10/fig11)")
+	clientsF   = flag.String("clients", "8,64,128", "client counts for fig10/fig11")
+	parallelF  = flag.Int("parallel", 4, "worker count for the table2 parallel-pipeline comparison")
+	outF       = flag.String("out", "", "write the table2 pipeline benchmark as versioned JSON to this file")
+	solverOutF = flag.String("solverout", "", "write the table2 solver-engine breakdown as versioned JSON to this file")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig10|fig11|pruning|baseline|all)")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
 	run := func(name string, fn func()) {
 		if *exp == "all" || *exp == name {
 			fn()
@@ -63,6 +85,13 @@ func main() {
 	run("fig11", fig11)
 	run("pruning", pruning)
 	run("baseline", baseline)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
+	}
 }
 
 func clientCounts() []int {
@@ -178,10 +207,21 @@ func table2() {
 // count; the two reports are concatenated for the identity check.
 type pipelineRun struct {
 	WallMS       int64 `json:"wall_ms"`
+	EnumMS       int64 `json:"enum_ms"`
+	FineMS       int64 `json:"fine_ms"`
+	SolverMS     int64 `json:"solver_ms"` // cumulative in-solver time across workers
 	GroupsSolved int   `json:"groups_solved"`
 	SolverCalls  int   `json:"solver_calls"`
 	MemoHits     int   `json:"memo_hits"`
 	Deadlocks    int   `json:"deadlocks"`
+
+	// CDCL(T) engine counters summed over the run's solver calls.
+	Decisions      int `json:"decisions"`
+	Conflicts      int `json:"conflicts"`
+	Propagations   int `json:"propagations"`
+	LearnedClauses int `json:"learned_clauses"`
+	Backjumps      int `json:"backjumps"`
+	TheoryCalls    int `json:"theory_calls"`
 
 	rendered string
 	found    int
@@ -209,6 +249,15 @@ func timedRun(blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
 		r.SolverCalls += res.Stats.SolverCalls
 		r.MemoHits += res.Stats.MemoHits
 		r.Deadlocks += len(res.Deadlocks)
+		r.EnumMS += res.Stats.EnumTime.Milliseconds()
+		r.FineMS += res.Stats.FineTime.Milliseconds()
+		r.SolverMS += res.Stats.SolverTime.Milliseconds()
+		r.Decisions += res.Stats.Engine.Decisions
+		r.Conflicts += res.Stats.Engine.Conflicts
+		r.Propagations += res.Stats.Engine.Propagations
+		r.LearnedClauses += res.Stats.Engine.LearnedClauses
+		r.Backjumps += res.Stats.Engine.Backjumps
+		r.TheoryCalls += res.Stats.Engine.TheoryCalls
 		seen := map[string]bool{}
 		for _, d := range res.Deadlocks {
 			b.WriteString(d.Render())
@@ -254,14 +303,21 @@ func pipelineBench(blTraces, shTraces []*trace.Trace) {
 		out.MemoHitRate = float64(par.MemoHits) / float64(par.GroupsSolved)
 	}
 
-	fmt.Printf("  serial:   %4d ms wall, %d groups via %d solver calls (%d memo hits)\n",
-		serial.WallMS, serial.GroupsSolved, serial.SolverCalls, serial.MemoHits)
-	fmt.Printf("  parallel: %4d ms wall, %d groups via %d solver calls (%d memo hits)\n",
-		par.WallMS, par.GroupsSolved, par.SolverCalls, par.MemoHits)
+	fmt.Printf("  serial:   %4d ms wall (solver %d ms), %d groups via %d solver calls (%d memo hits)\n",
+		serial.WallMS, serial.SolverMS, serial.GroupsSolved, serial.SolverCalls, serial.MemoHits)
+	fmt.Printf("  parallel: %4d ms wall (solver %d ms), %d groups via %d solver calls (%d memo hits)\n",
+		par.WallMS, par.SolverMS, par.GroupsSolved, par.SolverCalls, par.MemoHits)
+	fmt.Printf("  engine:   %d decisions, %d conflicts, %d propagations, %d learned clauses, %d backjumps, %d theory calls\n",
+		serial.Decisions, serial.Conflicts, serial.Propagations,
+		serial.LearnedClauses, serial.Backjumps, serial.TheoryCalls)
 	fmt.Printf("  speedup %.2fx, memo hit rate %.0f%%, reports byte-identical: %v, Table II %d/%d\n",
 		out.Speedup, 100*out.MemoHitRate, identical, out.Table2Found, out.Table2Catalog)
 	if !identical {
-		fmt.Println("  WARNING: parallel report differs from serial — determinism bug")
+		// Determinism is the contract the memoized parallel pipeline is
+		// built around; refuse to record benchmark artifacts that violate
+		// it.
+		fmt.Println("  ERROR: parallel report differs from serial — determinism bug; not writing BENCH files")
+		os.Exit(1)
 	}
 
 	if *outF != "" {
@@ -270,6 +326,56 @@ func pipelineBench(blTraces, shTraces []*trace.Trace) {
 		check(os.WriteFile(*outF, append(data, '\n'), 0o644))
 		fmt.Printf("  wrote %s\n", *outF)
 	}
+	if *solverOutF != "" {
+		writeSolverBench(serial, par, workers)
+	}
+}
+
+// solverBaseline records the pre-CDCL engine's serial numbers on this
+// same Table II workload (linear-scan DPLL(T) with full-assignment
+// blocking clauses, string-keyed atom interning, uncached edge
+// conditions), measured on the reference container. The solver JSON
+// reports the current engine against it.
+type solverBaseline struct {
+	Engine       string `json:"engine"`
+	SerialWallMS int64  `json:"serial_wall_ms"`
+	SerialSlvMS  int64  `json:"serial_solver_ms"`
+}
+
+// solverJSON is the versioned -solverout payload.
+type solverJSON struct {
+	Version     int            `json:"version"`
+	Engine      string         `json:"engine"`
+	Parallelism int            `json:"parallelism"`
+	Baseline    solverBaseline `json:"baseline"`
+	Serial      pipelineRun    `json:"serial"`
+	Parallel    pipelineRun    `json:"parallel"`
+	// SolverSpeedup is baseline serial in-solver time over current serial
+	// in-solver time on the same workload.
+	SolverSpeedup float64 `json:"solver_speedup_vs_baseline"`
+}
+
+func writeSolverBench(serial, par pipelineRun, workers int) {
+	base := solverBaseline{
+		Engine:       "dpll-blocking-clauses (pre-CDCL)",
+		SerialWallMS: 753,
+		SerialSlvMS:  560,
+	}
+	out := solverJSON{
+		Version:     1,
+		Engine:      "cdcl-watched-literals + theory-core learning",
+		Parallelism: workers,
+		Baseline:    base,
+		Serial:      serial,
+		Parallel:    par,
+	}
+	if serial.SolverMS > 0 {
+		out.SolverSpeedup = float64(base.SerialSlvMS) / float64(serial.SolverMS)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile(*solverOutF, append(data, '\n'), 0o644))
+	fmt.Printf("  wrote %s (solver speedup vs pre-CDCL baseline: %.2fx)\n", *solverOutF, out.SolverSpeedup)
 }
 
 // ---------------------------------------------------------------------------

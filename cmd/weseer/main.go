@@ -356,24 +356,34 @@ type jsonReport struct {
 }
 
 type jsonStats struct {
-	Traces           int   `json:"traces"`
-	Pairs            int   `json:"txn_pairs"`
-	PairsAfterPhase1 int   `json:"pairs_after_phase1"`
-	CoarseCycles     int   `json:"coarse_cycles"`
-	LockFiltered     int   `json:"lock_filtered"`
-	PrescreenPairs   int   `json:"prescreen_pairs"`
-	PrescreenPruned  int   `json:"prescreen_pairs_pruned"`
-	PrescreenSaved   int   `json:"prescreen_saved"`
-	GroupsSolved     int   `json:"groups_solved"`
-	SolverCalls      int   `json:"solver_calls"`
-	MemoHits         int   `json:"memo_hits"`
-	SAT              int   `json:"sat"`
-	UNSAT            int   `json:"unsat"`
-	Unknown          int   `json:"unknown"`
-	Parallelism      int   `json:"parallelism"`
-	SolverTimeMS     int64 `json:"solver_time_ms"`
-	EnumTimeMS       int64 `json:"enum_time_ms"`
-	FineTimeMS       int64 `json:"fine_time_ms"`
+	Traces           int `json:"traces"`
+	Pairs            int `json:"txn_pairs"`
+	PairsAfterPhase1 int `json:"pairs_after_phase1"`
+	CoarseCycles     int `json:"coarse_cycles"`
+	LockFiltered     int `json:"lock_filtered"`
+	PrescreenPairs   int `json:"prescreen_pairs"`
+	PrescreenPruned  int `json:"prescreen_pairs_pruned"`
+	PrescreenSaved   int `json:"prescreen_saved"`
+	GroupsSolved     int `json:"groups_solved"`
+	SolverCalls      int `json:"solver_calls"`
+	MemoHits         int `json:"memo_hits"`
+	SAT              int `json:"sat"`
+	UNSAT            int `json:"unsat"`
+	Unknown          int `json:"unknown"`
+
+	// CDCL(T) engine counters summed over the run's actual solver calls;
+	// deterministic at any parallelism.
+	Decisions      int `json:"decisions"`
+	Conflicts      int `json:"conflicts"`
+	Propagations   int `json:"propagations"`
+	LearnedClauses int `json:"learned_clauses"`
+	Backjumps      int `json:"backjumps"`
+	TheoryCalls    int `json:"theory_calls"`
+
+	Parallelism  int   `json:"parallelism"`
+	SolverTimeMS int64 `json:"solver_time_ms"`
+	EnumTimeMS   int64 `json:"enum_time_ms"`
+	FineTimeMS   int64 `json:"fine_time_ms"`
 }
 
 type jsonDeadlck struct {
@@ -399,6 +409,12 @@ func statsJSON(s core.Stats) jsonStats {
 		SAT:              s.SolverSAT,
 		UNSAT:            s.SolverUNSAT,
 		Unknown:          s.SolverUnknown,
+		Decisions:        s.Engine.Decisions,
+		Conflicts:        s.Engine.Conflicts,
+		Propagations:     s.Engine.Propagations,
+		LearnedClauses:   s.Engine.LearnedClauses,
+		Backjumps:        s.Engine.Backjumps,
+		TheoryCalls:      s.Engine.TheoryCalls,
 		Parallelism:      s.Parallelism,
 		SolverTimeMS:     s.SolverTime.Milliseconds(),
 		EnumTimeMS:       s.EnumTime.Milliseconds(),

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"weseer/internal/schema"
@@ -39,6 +40,11 @@ type Analyzer struct {
 	scm  *schema.Schema
 	opts Options
 	ps   *prescreenState // Phase-0 state, set per Analyze call
+	// edgeMemo caches C-edge conflict conditions per Analyze call: every
+	// cycle sharing an edge used to rebuild an identical condition. Keyed
+	// by edgeKey; values are interned smt.Expr. Safe for the phase-3
+	// workers (sync.Map, and the cached expressions are immutable).
+	edgeMemo *sync.Map
 }
 
 // prescreenState caches the static shapes Phase-0 screens against, so
@@ -127,6 +133,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 	res.Stats.Parallelism = workers
 
 	a.ps = nil
+	a.edgeMemo = &sync.Map{}
 	if a.opts.StaticPrescreen {
 		a.ps = &prescreenState{
 			txns:  map[*trace.Txn]staticlint.TxnShape{},

@@ -5,9 +5,11 @@ package core
 // Candidate cycles from different transaction pairs frequently reduce to
 // alpha-equivalent conflict formulas (the same statement templates under
 // different instance prefixes). The memo table keys on the canonicalized
-// formula (smt.Canon) and solves the canonical expression itself, so the
-// cached verdict — including the satisfying model — is independent of
-// which candidate happened to compute it. Each caller then translates the
+// formula (smt.Canon), hash-consed via smt.Intern so the lookup is a map
+// probe on an interface value rather than a rendered-string compare, and
+// solves the canonical expression itself, so the cached verdict —
+// including the satisfying model — is independent of which candidate
+// happened to compute it. Each caller then translates the
 // canonical model back through its own inverse rename map, which keeps
 // reports byte-identical whether a verdict came from the solver or the
 // cache, at any parallelism.
@@ -33,12 +35,14 @@ type memoEntry struct {
 }
 
 type memoTable struct {
-	mu      sync.Mutex
-	entries map[string]*memoEntry
+	mu sync.Mutex
+	// entries is keyed on the interned canonical formula: structural
+	// equality of canonical forms is interface equality after interning.
+	entries map[smt.Expr]*memoEntry
 }
 
 func newMemoTable() *memoTable {
-	return &memoTable{entries: map[string]*memoEntry{}}
+	return &memoTable{entries: map[smt.Expr]*memoEntry{}}
 }
 
 // solve discharges formula through the table. The second return reports a
@@ -47,8 +51,9 @@ func newMemoTable() *memoTable {
 // miss charges the call and its wall time to out.
 func (m *memoTable) solve(ctx context.Context, formula smt.Expr, lim solver.Limits, out *chainOutcome) (solver.Result, bool) {
 	c := smt.Canon(formula)
+	key := smt.Intern(c.Expr)
 	m.mu.Lock()
-	if e, ok := m.entries[c.Key]; ok {
+	if e, ok := m.entries[key]; ok {
 		m.mu.Unlock()
 		select {
 		case <-e.ready:
@@ -58,20 +63,21 @@ func (m *memoTable) solve(ctx context.Context, formula smt.Expr, lim solver.Limi
 		}
 	}
 	e := &memoEntry{ready: make(chan struct{})}
-	m.entries[c.Key] = e
+	m.entries[key] = e
 	m.mu.Unlock()
 
 	start := time.Now()
 	sres := solver.SolveCtx(ctx, c.Expr, lim)
 	out.solverTime += time.Since(start)
 	out.solverCalls++
+	out.engine.Add(sres.Stats)
 
 	if ctx.Err() != nil {
 		// A canceled solve yields UNKNOWN regardless of the formula —
 		// drop the entry rather than poison the table, then wake waiters
 		// (they share the canceled ctx and will bail the same way).
 		m.mu.Lock()
-		delete(m.entries, c.Key)
+		delete(m.entries, key)
 		m.mu.Unlock()
 		e.status = solver.UNKNOWN
 		close(e.ready)

@@ -43,6 +43,9 @@ type chainOutcome struct {
 	sat, unsat     int
 	unknown        int
 	solverTime     time.Duration
+	// engine aggregates the CDCL(T) counters of the solver calls this
+	// chain owned (memo hits charge nothing — the owning call counted).
+	engine solver.Stats
 
 	err error
 }
@@ -120,6 +123,7 @@ func (a *Analyzer) discharge(ctx context.Context, chains []*chain, workers int, 
 		res.Stats.SolverUNSAT += o.unsat
 		res.Stats.SolverUnknown += o.unknown
 		res.Stats.SolverTime += o.solverTime
+		res.Stats.Engine.Add(o.engine)
 		if o.deadlock != nil {
 			res.Deadlocks = append(res.Deadlocks, o.deadlock)
 		}
@@ -196,6 +200,7 @@ func (a *Analyzer) fineCheckOne(ctx context.Context, cyc Cycle, key string, memo
 		sres = solver.SolveCtx(ctx, formula, a.opts.Solver)
 		out.solverTime += time.Since(start)
 		out.solverCalls++
+		out.engine.Add(sres.Stats)
 	}
 	if err := ctx.Err(); err != nil {
 		// A canceled solve reports UNKNOWN; don't let it skew the funnel.
@@ -233,9 +238,8 @@ func (a *Analyzer) fineCheckOne(ctx context.Context, cyc Cycle, key string, memo
 // satisfies them by construction, so they cannot change satisfiability —
 // a cone-of-influence reduction that keeps solver formulas small.
 func (a *Analyzer) cycleFormula(cyc Cycle) smt.Expr {
-	nm := lockmodel.NewNamer("rng.")
-	edge1 := edgeCond(cyc.S1b, cyc.S2a, a.scm, "r1.", nm, a.opts.UseConcretePlans)
-	edge2 := edgeCond(cyc.S2b, cyc.S1a, a.scm, "r2.", nm, a.opts.UseConcretePlans)
+	edge1 := a.edgeCondCached(cyc.S1b, cyc.S2a, "r1.")
+	edge2 := a.edgeCondCached(cyc.S2b, cyc.S1a, "r2.")
 
 	last1 := maxSeq(cyc.S1a, cyc.S1b)
 	last2 := maxSeq(cyc.S2a, cyc.S2b)
@@ -289,6 +293,35 @@ func coneOfInfluence(seed map[string]smt.Sort, conds []smt.Expr) []smt.Expr {
 		}
 	}
 	return out
+}
+
+// edgeKey identifies one C-edge condition build: the ordered statement
+// pair and the unified-row variable prefix. UseConcretePlans is fixed
+// per Analyzer, so it is not part of the key.
+type edgeKey struct {
+	x, y      *trace.Stmt
+	rowPrefix string
+}
+
+// edgeCondCached builds — or reuses — the conflict condition of one
+// C-edge. Cycles overlap heavily: every cycle sharing a C-edge used to
+// rebuild an identical condition expression from scratch. The cache
+// builds each distinct edge once per Analyze call and interns the
+// result, so downstream canonicalization hits its per-node memo on the
+// shared subtrees. Fresh range variables are prefixed per edge
+// ("rng.r1.", "rng.r2."), which keeps the built condition independent
+// of whatever the cycle's other edge minted.
+func (a *Analyzer) edgeCondCached(x, y *trace.Stmt, rowPrefix string) smt.Expr {
+	k := edgeKey{x: x, y: y, rowPrefix: rowPrefix}
+	if e, ok := a.edgeMemo.Load(k); ok {
+		return e.(smt.Expr)
+	}
+	nm := lockmodel.NewNamer("rng." + rowPrefix)
+	e := smt.Intern(edgeCond(x, y, a.scm, rowPrefix, nm, a.opts.UseConcretePlans))
+	// Concurrent workers may race to build the same edge; both builds are
+	// identical and interned, so either value is fine to keep.
+	actual, _ := a.edgeMemo.LoadOrStore(k, e)
+	return actual.(smt.Expr)
 }
 
 // edgeCond builds the conflict condition of one C-edge, trying both

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"weseer/internal/smt"
+	"weseer/internal/solver"
 	"weseer/internal/trace"
 )
 
@@ -48,6 +49,13 @@ type Stats struct {
 	SolverSAT     int
 	SolverUNSAT   int
 	SolverUnknown int
+
+	// Engine aggregates the CDCL(T) engine counters over the run's actual
+	// solver calls (decisions, conflicts, propagations, learned clauses,
+	// backjumps, theory checks). Memo hits contribute nothing — each
+	// distinct canonical formula is counted exactly once by the call that
+	// solved it — so the sums are deterministic at any parallelism.
+	Engine solver.Stats
 
 	// Parallelism is the phase-3 worker count the run used; the timings
 	// below depend on it, the rest of the report does not.

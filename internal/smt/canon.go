@@ -60,6 +60,7 @@ import (
 	"math/big"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // CanonResult is the outcome of Canon.
@@ -114,19 +115,36 @@ func (c CanonResult) Invert() map[string]string {
 	return inv
 }
 
+// localKeyMemo caches localKey results process-wide, keyed on the Expr
+// interface value. The local key of a node is a pure function of its
+// structure, and the analyzer shares subtree pointers heavily (path
+// conditions repeat across cycles; edge conditions are cached per edge),
+// so identical pointers recur across Canon calls and the per-operand
+// canonicalization pass becomes a map hit.
+var localKeyMemo sync.Map // Expr → string
+
+// localKey canonicalizes x in isolation (including its own component
+// analysis) and returns its string form. The key is invariant under any
+// renaming of an enclosing formula.
+func localKey(x Expr) string {
+	if k, ok := localKeyMemo.Load(x); ok {
+		return k.(string)
+	}
+	m := newCanonMaps(analyzeComponents(x))
+	canonAssign(x, m)
+	k := applyMaps(x, m).String()
+	localKeyMemo.Store(x, k)
+	return k
+}
+
 // Canon canonicalizes e as described in the package comment above.
 func Canon(e Expr) CanonResult {
 	// Pass 1: order And/Or operands by their local shape — each operand
-	// canonicalized in isolation (including its own component analysis).
-	// The local key is invariant under any renaming of the whole formula,
-	// so two equivalent inputs sort their operands identically even
-	// though their global first-occurrence numberings disagree.
-	local := func(x Expr) string {
-		m := newCanonMaps(analyzeComponents(x))
-		canonAssign(x, m)
-		return applyMaps(x, m).String()
-	}
-	e = acSort(e, local)
+	// canonicalized in isolation. The local key is invariant under any
+	// renaming of the whole formula, so two equivalent inputs sort their
+	// operands identically even though their global first-occurrence
+	// numberings disagree.
+	e = acSort(e, localKey)
 
 	// The component partition is a function of the formula's atoms, so it
 	// is unaffected by the operand reordering below — compute it once.

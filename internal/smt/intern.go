@@ -1,0 +1,267 @@
+package smt
+
+// Hash-consing for expressions. Intern maps any expression to a canonical
+// representative: two structurally equal expressions intern to the same
+// Go interface value, so equality after interning is a pointer/interface
+// compare and a 64-bit structural hash is computed once per distinct
+// node. The solver's select-atom interning, the core memo table, and the
+// canonicalization caches key on interned nodes instead of rebuilding
+// key strings.
+//
+// The interner is per-process and safe for concurrent use (the parallel
+// discharge stage interns from several workers). Expressions are
+// immutable by contract, so sharing interned subtrees is safe.
+
+import (
+	"math/big"
+	"sync"
+)
+
+type interner struct {
+	mu sync.Mutex
+	// buckets maps a structural hash to the interned expressions bearing
+	// it; collisions are resolved by shallow comparison (children are
+	// already interned, so child equality is interface equality).
+	buckets map[uint64][]Expr
+	// hashes caches the structural hash of every interned node.
+	hashes map[Expr]uint64
+}
+
+var globalInterner = &interner{
+	buckets: map[uint64][]Expr{},
+	hashes:  map[Expr]uint64{},
+}
+
+// Intern returns the canonical representative of e: structurally equal
+// expressions intern to interface-equal values. The result is equivalent
+// to e (same structure, same sorts).
+func Intern(e Expr) Expr {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	out, _ := globalInterner.intern(e)
+	return out
+}
+
+// ExprHash returns a 64-bit structural hash of e: structurally equal
+// expressions hash equal. The expression is interned as a side effect so
+// repeated hashing is a map lookup.
+func ExprHash(e Expr) uint64 {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	_, h := globalInterner.intern(e)
+	return h
+}
+
+// intern returns the canonical node for e and its hash. Callers hold mu.
+func (in *interner) intern(e Expr) (Expr, uint64) {
+	if h, ok := in.hashes[e]; ok {
+		return e, h
+	}
+	var canon Expr
+	var h uint64
+	switch t := e.(type) {
+	case BoolConst, IntConst, StrConst, Var:
+		// Comparable value types are their own canonical representative.
+		canon, h = e, in.scalarHash(e)
+	case RealConst:
+		// RealConst holds a *big.Rat, so interface equality is pointer
+		// equality on the rat: bucket by value instead.
+		h = hashCombine(hashSeed('R'), hashString(t.V.RatString()))
+		canon = in.lookup(h, func(x Expr) bool {
+			c, ok := x.(RealConst)
+			return ok && c.V.Cmp(t.V) == 0
+		})
+		if canon == nil {
+			canon = RealConst{V: new(big.Rat).Set(t.V)}
+			in.buckets[h] = append(in.buckets[h], canon)
+		}
+	case Not:
+		x, xh := in.intern(t.X)
+		canon = Not{X: x}
+		if h, ok := in.hashes[canon]; ok {
+			return canon, h
+		}
+		h = hashCombine(hashSeed('!'), xh)
+	case *Arith:
+		l, lh := in.intern(t.L)
+		h = hashCombine(hashCombine(hashSeed('A'), uint64(t.Op)<<8|uint64(t.S)), lh)
+		var r Expr
+		if t.R != nil {
+			var rh uint64
+			r, rh = in.intern(t.R)
+			h = hashCombine(h, rh)
+		}
+		canon = in.lookup(h, func(x Expr) bool {
+			c, ok := x.(*Arith)
+			return ok && c.Op == t.Op && c.S == t.S && c.L == l && c.R == r
+		})
+		if canon == nil {
+			canon = &Arith{Op: t.Op, L: l, R: r, S: t.S}
+			in.buckets[h] = append(in.buckets[h], canon)
+		}
+	case *Cmp:
+		l, lh := in.intern(t.L)
+		r, rh := in.intern(t.R)
+		h = hashCombine(hashCombine(hashCombine(hashSeed('C'), uint64(t.Op)), lh), rh)
+		canon = in.lookup(h, func(x Expr) bool {
+			c, ok := x.(*Cmp)
+			return ok && c.Op == t.Op && c.L == l && c.R == r
+		})
+		if canon == nil {
+			canon = &Cmp{Op: t.Op, L: l, R: r}
+			in.buckets[h] = append(in.buckets[h], canon)
+		}
+	case *NAry:
+		xs := make([]Expr, len(t.Xs))
+		h = hashSeed('N')
+		if t.Conj {
+			h = hashCombine(h, 1)
+		}
+		for i, x := range t.Xs {
+			var xh uint64
+			xs[i], xh = in.intern(x)
+			h = hashCombine(h, xh)
+		}
+		canon = in.lookup(h, func(x Expr) bool {
+			c, ok := x.(*NAry)
+			if !ok || c.Conj != t.Conj || len(c.Xs) != len(xs) {
+				return false
+			}
+			for i := range xs {
+				if c.Xs[i] != xs[i] {
+					return false
+				}
+			}
+			return true
+		})
+		if canon == nil {
+			canon = &NAry{Conj: t.Conj, Xs: xs}
+			in.buckets[h] = append(in.buckets[h], canon)
+		}
+	case *Select:
+		arr, ah := in.internArray(t.Arr)
+		key, kh := in.intern(t.Key)
+		h = hashCombine(hashCombine(hashSeed('S'), ah), kh)
+		canon = in.lookup(h, func(x Expr) bool {
+			c, ok := x.(*Select)
+			return ok && c.Arr == arr && c.Key == key
+		})
+		if canon == nil {
+			canon = &Select{Arr: arr, Key: key}
+			in.buckets[h] = append(in.buckets[h], canon)
+		}
+	default:
+		// Unknown node kind: leave it alone, hashed by identity.
+		canon, h = e, hashSeed('?')
+	}
+	in.hashes[canon] = h
+	if canon != e {
+		// Remember the original too, so re-interning it is a single
+		// lookup. Value-typed nodes are their own canon and skip this.
+		in.hashes[e] = h
+	}
+	return canon, h
+}
+
+// internArray canonicalizes an array version chain. Arrays are not Exprs
+// themselves, so they get their own bucket space via a wrapper key.
+func (in *interner) internArray(a *Array) (*Array, uint64) {
+	h := hashCombine(hashSeed('V'), hashString(a.ID))
+	h = hashCombine(h, uint64(a.KeySort))
+	h = hashCombine(h, uint64(a.Version))
+	var parent *Array
+	var storeKey Expr
+	if a.Parent != nil {
+		var ph, kh uint64
+		parent, ph = in.internArray(a.Parent)
+		storeKey, kh = in.intern(a.StoreKey)
+		h = hashCombine(h, ph)
+		h = hashCombine(h, kh)
+		if a.StoreVal {
+			h = hashCombine(h, 1)
+		}
+	}
+	found := in.lookup(h, func(x Expr) bool {
+		w, ok := x.(arrayRef)
+		if !ok {
+			return false
+		}
+		c := w.a
+		return c.ID == a.ID && c.KeySort == a.KeySort && c.Version == a.Version &&
+			c.Parent == parent && c.StoreKey == storeKey && c.StoreVal == a.StoreVal
+	})
+	if found != nil {
+		return found.(arrayRef).a, h
+	}
+	canon := a
+	if a.Parent != nil && (a.Parent != parent || a.StoreKey != storeKey) {
+		canon = &Array{ID: a.ID, KeySort: a.KeySort, Version: a.Version,
+			Parent: parent, StoreKey: storeKey, StoreVal: a.StoreVal}
+	}
+	in.buckets[h] = append(in.buckets[h], arrayRef{a: canon})
+	return canon, h
+}
+
+// arrayRef lets array versions share the expression bucket table.
+type arrayRef struct{ a *Array }
+
+// Sort implements Expr (never used as a real expression).
+func (arrayRef) Sort() Sort       { return SortBool }
+func (r arrayRef) String() string { return r.a.String() }
+
+// lookup scans a hash bucket for a node matching eq; on miss it returns
+// nil and the caller appends the freshly built canonical node.
+func (in *interner) lookup(h uint64, eq func(Expr) bool) Expr {
+	for _, x := range in.buckets[h] {
+		if eq(x) {
+			return x
+		}
+	}
+	return nil
+}
+
+// scalarHash hashes a comparable leaf node. Leaves need no bucket entry:
+// value types are canonical by Go interface equality already.
+func (in *interner) scalarHash(e Expr) uint64 {
+	var h uint64
+	switch t := e.(type) {
+	case BoolConst:
+		h = hashSeed('b')
+		if t.B {
+			h = hashCombine(h, 1)
+		}
+	case IntConst:
+		h = hashCombine(hashSeed('i'), uint64(t.V))
+	case StrConst:
+		h = hashCombine(hashSeed('s'), hashString(t.S))
+	case Var:
+		h = hashCombine(hashCombine(hashSeed('v'), hashString(t.Name)), uint64(t.S))
+	}
+	return h
+}
+
+// FNV-1a primitives, combined per field so hashes are order-sensitive.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashSeed(tag byte) uint64 {
+	return (uint64(fnvOffset) ^ uint64(tag)) * fnvPrime
+}
+
+func hashCombine(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}

@@ -1,9 +1,11 @@
 package solver
 
-// Propositional layer: NNF conversion, Tseitin CNF encoding, and a DPLL
-// search with unit propagation and chronological backtracking. Formulas
-// the deadlock analyzer emits are small (hundreds of atoms), so the
-// emphasis is on correctness and debuggability over raw SAT speed.
+// Propositional layer: NNF conversion, Tseitin CNF encoding, and a CDCL
+// search engine (two-watched-literal unit propagation, first-UIP conflict
+// analysis with clause learning, non-chronological backjumping, phase
+// saving, and an EVSIDS-style decision heuristic). Theory refutations
+// enter the engine as learned core clauses and go through the same
+// conflict-analysis machinery as propositional conflicts.
 
 // lit is a literal: variable index shifted left once, low bit = negated.
 type lit int
@@ -109,30 +111,85 @@ func (b *cnfBuilder) tseitin(n *pnode) (lit, bool /*isConst*/, bool /*constVal*/
 	panic("solver: bad pnode")
 }
 
-// dpll is a straightforward DPLL engine over the CNF. Learned (blocking)
-// clauses can be appended between searches via addClause.
-type dpll struct {
+// ---------------------------------------------------------------------------
+// CDCL engine
+
+// clause is a CNF clause under the two-watched-literal scheme: the engine
+// watches lits[0] and lits[1] and maintains the invariant that a watch only
+// becomes false after every other literal of the clause is false (at deeper
+// or equal decision levels), so clauses need inspection only when a watched
+// literal is falsified.
+type clause struct {
+	lits []lit
+}
+
+// cdcl is a conflict-driven clause-learning SAT engine. It replaces the
+// chronological-backtracking DPLL the solver started with: propagation is
+// watched-literal, conflicts are analyzed to a first-UIP learned clause,
+// and the search backjumps non-chronologically to the clause's assertion
+// level. Theory refutations are added via learnClause and analyzed with
+// exactly the same machinery.
+type cdcl struct {
 	numVars int
-	clauses [][]lit
-	assign  []int8 // 0 unassigned, 1 true, -1 false
-	trail   []int  // assigned variable order
-	// declevel[i] is the index into trail where decision i was made.
-	decisions []int
-	// flipped[i] reports whether decision i has already been flipped.
-	flipped []bool
-	stats   *Stats
+	clauses []*clause
+	// watches[l] lists the clauses watching literal l (visited when l is
+	// falsified, i.e. when ¬l is asserted).
+	watches [][]*clause
+
+	assign []int8 // 0 unassigned, 1 true, -1 false
+	level  []int  // decision level of each assigned variable
+	reason []*clause
+	trail  []lit
+	// trailLim[i] is the trail length when decision level i+1 was opened.
+	trailLim []int
+	qhead    int
+
+	// EVSIDS: bump activity of conflict-involved variables, then inflate
+	// the increment (equivalent to decaying every activity by 0.95).
+	activity []float64
+	varInc   float64
+
+	// phase[v] caches the polarity v last held before being unassigned, so
+	// re-decisions revisit the part of the space the search was exploring.
+	phase []int8
+
+	seen []bool // scratch for analyze
+
+	// theoryAtom marks variables whose assignment matters to the theory
+	// solvers; theoryEvents counts assignments to them, letting the
+	// DPLL(T) loop skip theory checks that cannot observe anything new.
+	theoryAtom   []bool
+	theoryEvents int
+
+	// ok is false when the input clauses are contradictory at level 0.
+	ok    bool
+	stats *Stats
 }
 
-func newDPLL(numVars int, clauses [][]lit, stats *Stats) *dpll {
-	return &dpll{
-		numVars: numVars,
-		clauses: clauses,
-		assign:  make([]int8, numVars),
-		stats:   stats,
+func newCDCL(numVars int, clauses [][]lit, stats *Stats) *cdcl {
+	d := &cdcl{
+		numVars:  numVars,
+		watches:  make([][]*clause, 2*numVars),
+		assign:   make([]int8, numVars),
+		level:    make([]int, numVars),
+		reason:   make([]*clause, numVars),
+		activity: make([]float64, numVars),
+		varInc:   1.0,
+		phase:    make([]int8, numVars),
+		seen:     make([]bool, numVars),
+		ok:       true,
+		stats:    stats,
 	}
+	for _, ls := range clauses {
+		if !d.addClause(ls) {
+			d.ok = false
+			return d
+		}
+	}
+	return d
 }
 
-func (d *dpll) value(l lit) int8 {
+func (d *cdcl) value(l lit) int8 {
 	v := d.assign[l.varIdx()]
 	if l.negated() {
 		return -v
@@ -140,117 +197,278 @@ func (d *dpll) value(l lit) int8 {
 	return v
 }
 
-func (d *dpll) set(l lit) {
-	v := int8(1)
-	if l.negated() {
-		v = -1
-	}
-	d.assign[l.varIdx()] = v
-	d.trail = append(d.trail, l.varIdx())
-}
+func (d *cdcl) decisionLevel() int { return len(d.trailLim) }
 
-// propagate runs unit propagation to fixpoint; it returns false on an
-// empty clause (conflict).
-func (d *dpll) propagate() bool {
-	for changed := true; changed; {
-		changed = false
-		for _, cl := range d.clauses {
-			unassigned := -1
-			satisfied := false
-			count := 0
-			for i, l := range cl {
-				switch d.value(l) {
-				case 1:
-					satisfied = true
-				case 0:
-					unassigned = i
-					count++
-				}
-				if satisfied {
-					break
-				}
-			}
-			if satisfied {
-				continue
-			}
-			if count == 0 {
-				return false
-			}
-			if count == 1 {
-				d.set(cl[unassigned])
-				changed = true
-			}
-		}
+// addClause attaches an input clause; unit clauses are enqueued at level 0.
+// It returns false when the clause is empty or contradicts a level-0 fact.
+func (d *cdcl) addClause(ls []lit) bool {
+	switch len(ls) {
+	case 0:
+		return false
+	case 1:
+		return d.enqueue(ls[0], nil)
 	}
+	c := &clause{lits: ls}
+	d.clauses = append(d.clauses, c)
+	d.watch(c)
 	return true
 }
 
-// backtrack undoes the most recent unflipped decision and flips it.
-// It returns false when no decision remains (search exhausted).
-func (d *dpll) backtrack() bool {
-	for len(d.decisions) > 0 {
-		top := len(d.decisions) - 1
-		mark := d.decisions[top]
-		wasFlipped := d.flipped[top]
-		decidedVar := d.trail[mark]
-		decidedVal := d.assign[decidedVar]
-		for i := len(d.trail) - 1; i >= mark; i-- {
-			d.assign[d.trail[i]] = 0
-		}
-		d.trail = d.trail[:mark]
-		d.decisions = d.decisions[:top]
-		d.flipped = d.flipped[:top]
-		if wasFlipped {
-			continue
-		}
-		// Re-assert the flipped decision as a pseudo-decision so a later
-		// conflict skips over it.
-		d.decisions = append(d.decisions, len(d.trail))
-		d.flipped = append(d.flipped, true)
-		flippedLit := mkLit(decidedVar, decidedVal == 1)
-		d.set(flippedLit)
+func (d *cdcl) watch(c *clause) {
+	d.watches[c.lits[0]] = append(d.watches[c.lits[0]], c)
+	d.watches[c.lits[1]] = append(d.watches[c.lits[1]], c)
+}
+
+// enqueue asserts l (with an optional reason clause), returning false if l
+// is already false under the current assignment.
+func (d *cdcl) enqueue(l lit, from *clause) bool {
+	switch d.value(l) {
+	case 1:
 		return true
+	case -1:
+		return false
 	}
-	return false
+	d.assertLit(l, from)
+	return true
 }
 
-// pickUnassigned returns an unassigned variable, or -1 when the
-// assignment is complete.
-func (d *dpll) pickUnassigned() int {
-	for v := 0; v < d.numVars; v++ {
-		if d.assign[v] == 0 {
-			return v
+func (d *cdcl) assertLit(l lit, from *clause) {
+	v := l.varIdx()
+	if l.negated() {
+		d.assign[v] = -1
+	} else {
+		d.assign[v] = 1
+	}
+	d.level[v] = d.decisionLevel()
+	d.reason[v] = from
+	d.trail = append(d.trail, l)
+	if d.theoryAtom != nil && d.theoryAtom[v] {
+		d.theoryEvents++
+	}
+}
+
+// propagate runs watched-literal unit propagation to fixpoint. It returns
+// the conflicting clause, or nil if the assignment is propagation-closed.
+func (d *cdcl) propagate() *clause {
+	for d.qhead < len(d.trail) {
+		p := d.trail[d.qhead]
+		d.qhead++
+		falseLit := p.negate()
+		ws := d.watches[falseLit]
+		n := 0
+	clauses:
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			lits := c.lits
+			// Normalize so the falsified watch sits at lits[1].
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			if d.value(lits[0]) == 1 {
+				ws[n] = c
+				n++
+				continue
+			}
+			// Look for a non-false literal to take over the watch.
+			for k := 2; k < len(lits); k++ {
+				if d.value(lits[k]) != -1 {
+					lits[1], lits[k] = lits[k], lits[1]
+					d.watches[lits[1]] = append(d.watches[lits[1]], c)
+					continue clauses
+				}
+			}
+			// Clause is unit (lits[0] unassigned) or conflicting.
+			ws[n] = c
+			n++
+			if d.value(lits[0]) == -1 {
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				d.watches[falseLit] = ws[:n]
+				d.qhead = len(d.trail)
+				return c
+			}
+			d.stats.Propagations++
+			d.assertLit(lits[0], c)
+		}
+		d.watches[falseLit] = ws[:n]
+	}
+	return nil
+}
+
+// cancelUntil undoes all assignments above the given decision level,
+// saving phases so later re-decisions keep their polarity.
+func (d *cdcl) cancelUntil(lvl int) {
+	if d.decisionLevel() <= lvl {
+		return
+	}
+	back := d.trailLim[lvl]
+	for i := len(d.trail) - 1; i >= back; i-- {
+		v := d.trail[i].varIdx()
+		d.phase[v] = d.assign[v]
+		d.assign[v] = 0
+		d.reason[v] = nil
+	}
+	d.trail = d.trail[:back]
+	d.trailLim = d.trailLim[:lvl]
+	d.qhead = back
+}
+
+func (d *cdcl) bumpVar(v int) {
+	d.activity[v] += d.varInc
+	if d.activity[v] > 1e100 {
+		for i := range d.activity {
+			d.activity[i] *= 1e-100
+		}
+		d.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis on confl, which must be
+// falsified with at least one literal at the current decision level. It
+// returns the learned clause (asserting literal first, a deepest-level
+// remaining literal second) and the backjump level.
+func (d *cdcl) analyze(confl *clause) ([]lit, int) {
+	learnt := []lit{0} // slot 0 reserved for the asserting literal
+	pathC := 0
+	var p lit = -1
+	idx := len(d.trail) - 1
+
+	for {
+		start := 0
+		if p != -1 {
+			// p's reason clause has p at lits[0]; skip it.
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.varIdx()
+			if d.seen[v] || d.level[v] == 0 {
+				continue
+			}
+			d.seen[v] = true
+			d.bumpVar(v)
+			if d.level[v] >= d.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for !d.seen[d.trail[idx].varIdx()] {
+			idx--
+		}
+		p = d.trail[idx]
+		idx--
+		v := p.varIdx()
+		d.seen[v] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+		confl = d.reason[v]
+	}
+	learnt[0] = p.negate()
+
+	// Backjump level: the deepest level among the non-asserting literals.
+	// Keep a literal of that level at slot 1 so the watches land on the
+	// two deepest literals of the clause.
+	bt := 0
+	for i := 1; i < len(learnt); i++ {
+		d.seen[learnt[i].varIdx()] = false
+		if l := d.level[learnt[i].varIdx()]; l > bt {
+			bt = l
+			learnt[1], learnt[i] = learnt[i], learnt[1]
 		}
 	}
-	return -1
+	d.varInc /= 0.95
+	return learnt, bt
 }
 
-// decide assigns variable v at a new decision level with the given
-// polarity (phase-saving: the caller proposes the value the current
-// theory model already satisfies, so most decisions stay theory-
-// consistent).
-func (d *dpll) decide(v int, value bool) {
+// resolveConflict analyzes a falsified clause, backjumps, and asserts the
+// learned literal. It returns false when the conflict is at level 0, i.e.
+// the search space is exhausted.
+func (d *cdcl) resolveConflict(confl *clause) bool {
+	maxLvl := 0
+	for _, q := range confl.lits {
+		if l := d.level[q.varIdx()]; l > maxLvl {
+			maxLvl = l
+		}
+	}
+	if maxLvl == 0 {
+		return false
+	}
+	// A theory clause may be falsified entirely below the current level;
+	// drop to its deepest level so analyze sees a current-level conflict.
+	d.cancelUntil(maxLvl)
+	learnt, bt := d.analyze(confl)
+	if bt < d.decisionLevel()-1 {
+		d.stats.Backjumps++
+	}
+	d.cancelUntil(bt)
+	d.stats.LearnedClauses++
+	if len(learnt) == 1 {
+		return d.enqueue(learnt[0], nil)
+	}
+	c := &clause{lits: learnt}
+	d.clauses = append(d.clauses, c)
+	d.watch(c)
+	return d.enqueue(learnt[0], c)
+}
+
+// learnClause adds a clause the theory solvers refuted (an unsat-core or
+// blocking clause over atom variables, fully falsified by the current
+// assignment) and drives conflict resolution with it. It returns false
+// when the clause exhausts the search.
+func (d *cdcl) learnClause(ls []lit) bool {
+	if len(ls) == 0 {
+		return false
+	}
+	if len(ls) == 1 {
+		d.stats.LearnedClauses++
+		d.cancelUntil(0)
+		return d.enqueue(ls[0], nil)
+	}
+	// Watch the two deepest-level literals: every other literal of the
+	// clause is unassigned before them on any future trail.
+	for i := 0; i < 2; i++ {
+		best := i
+		for j := i + 1; j < len(ls); j++ {
+			if d.level[ls[j].varIdx()] > d.level[ls[best].varIdx()] {
+				best = j
+			}
+		}
+		ls[i], ls[best] = ls[best], ls[i]
+	}
+	c := &clause{lits: ls}
+	d.clauses = append(d.clauses, c)
+	d.watch(c)
+	return d.resolveConflict(c)
+}
+
+// decide opens a new decision level and assigns v the given polarity.
+func (d *cdcl) decide(v int, value bool) {
 	d.stats.Decisions++
-	d.decisions = append(d.decisions, len(d.trail))
-	d.flipped = append(d.flipped, false)
-	d.set(mkLit(v, !value))
+	d.trailLim = append(d.trailLim, len(d.trail))
+	d.assertLit(mkLit(v, !value), nil)
 }
 
-// block adds a clause forbidding the current assignment restricted to the
-// given variables, then backtracks so the search can continue.
-func (d *dpll) block(vars []int) bool {
-	cl := make([]lit, 0, len(vars))
-	for _, v := range vars {
-		switch d.assign[v] {
-		case 1:
-			cl = append(cl, mkLit(v, true))
-		case -1:
-			cl = append(cl, mkLit(v, false))
+// savedPhase returns the phase v held before it was last unassigned:
+// +1 true, -1 false, 0 no saved phase.
+func (d *cdcl) savedPhase(v int) int8 { return d.phase[v] }
+
+// pickVar returns the unassigned variable with the highest activity
+// (lowest index on ties), or -1 when the assignment is complete. With all
+// activities zero this is the lowest-index-first order of the original
+// DPLL engine.
+func (d *cdcl) pickVar() int {
+	best, bestAct := -1, -1.0
+	for v := 0; v < d.numVars; v++ {
+		if d.assign[v] == 0 && d.activity[v] > bestAct {
+			best, bestAct = v, d.activity[v]
 		}
 	}
-	if len(cl) == 0 {
-		return false // current (empty) assignment unblockable: exhausted
-	}
-	d.clauses = append(d.clauses, cl)
-	return d.backtrack()
+	return best
 }
+
+func (d *cdcl) fullyAssigned() bool { return len(d.trail) == d.numVars }

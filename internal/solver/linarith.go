@@ -27,6 +27,93 @@ type linCon struct {
 	coeffs map[string]*big.Rat
 	rhs    *big.Rat
 	op     linOp
+
+	// fast is an int64 view of the constraint, built by buildFast for
+	// atom constraints only (which are immutable once interned). holds
+	// evaluates through it without big.Rat allocations whenever the
+	// assignment values are small integers. Mutable clones never carry it:
+	// clone() allocates a fresh linCon with fast == nil.
+	fast    []fastTerm
+	fastRHS int64
+}
+
+// fastTerm is one integer-coefficient term of the fast view.
+type fastTerm struct {
+	name string
+	co   int64
+}
+
+// fastLimit bounds the magnitudes admitted into the fast path so that
+// coefficient·value products and their running sum cannot overflow int64.
+const fastLimit = int64(1) << 31
+
+// buildFast caches the int64 view when every coefficient and the
+// right-hand side are small integers. Callers must only invoke it on
+// constraints that will never be mutated afterwards.
+func (c *linCon) buildFast() {
+	terms := make([]fastTerm, 0, len(c.coeffs))
+	for x, co := range c.coeffs {
+		v, ok := smallInt(co)
+		if !ok {
+			return
+		}
+		terms = append(terms, fastTerm{name: x, co: v})
+	}
+	rhs, ok := smallInt(c.rhs)
+	if !ok {
+		return
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].name < terms[j].name })
+	c.fast = terms
+	c.fastRHS = rhs
+}
+
+// smallInt reports r as an int64 when it is an integer below fastLimit.
+func smallInt(r *big.Rat) (int64, bool) {
+	if !r.IsInt() || !r.Num().IsInt64() {
+		return 0, false
+	}
+	v := r.Num().Int64()
+	if v >= fastLimit || v <= -fastLimit {
+		return 0, false
+	}
+	return v, true
+}
+
+// holdsFast evaluates the constraint through the int64 view. The second
+// return is false when some assignment value falls outside the small-int
+// range and the caller must take the exact big.Rat path.
+func (c *linCon) holdsFast(asn map[string]*big.Rat) (bool, bool) {
+	const sumLimit = int64(1) << 62
+	var sum int64
+	for _, t := range c.fast {
+		r, ok := asn[t.name]
+		if !ok {
+			continue // missing vars count as 0
+		}
+		v, small := smallInt(r)
+		if !small {
+			return false, false
+		}
+		// |co|,|v| < 2^31 keeps each product under 2^62, so adding one to
+		// a sum bounded by 2^62 cannot wrap; re-checking the bound after
+		// every addition keeps the invariant.
+		sum += t.co * v
+		if sum >= sumLimit || sum <= -sumLimit {
+			return false, false
+		}
+	}
+	switch c.op {
+	case opLE:
+		return sum <= c.fastRHS, true
+	case opLT:
+		return sum < c.fastRHS, true
+	case opEQ:
+		return sum == c.fastRHS, true
+	case opNE:
+		return sum != c.fastRHS, true
+	}
+	return false, false
 }
 
 func newLinCon(op linOp) *linCon {
@@ -70,6 +157,11 @@ func (c *linCon) eval(asn map[string]*big.Rat) *big.Rat {
 // holds reports whether the constraint is satisfied under a total
 // assignment of its variables.
 func (c *linCon) holds(asn map[string]*big.Rat) bool {
+	if c.fast != nil {
+		if res, ok := c.holdsFast(asn); ok {
+			return res
+		}
+	}
 	cmp := c.eval(asn).Cmp(c.rhs)
 	switch c.op {
 	case opLE:

@@ -2,17 +2,21 @@
 // (the paper uses Z3 4.8.14). It decides the logic fragment the deadlock
 // analyzer emits — Boolean combinations of linear Int/Real comparisons,
 // string (dis)equality, and reads over Boolean container arrays — via a
-// lazy DPLL(T) loop: a propositional search over the Tseitin-encoded
-// Boolean skeleton, with full assignments checked against the arithmetic
-// and string theories. On SAT it returns a verified model (the satisfying
-// assignment WeSEER's reports use to reproduce a deadlock); every model is
-// re-checked by evaluation before being returned.
+// lazy CDCL(T) loop: a conflict-driven clause-learning search over the
+// Tseitin-encoded Boolean skeleton, with assignments checked against the
+// arithmetic and string theories and theory refutations fed back as
+// learned core clauses. On SAT it returns a verified model (the
+// satisfying assignment WeSEER's reports use to reproduce a deadlock);
+// every model is re-checked by evaluation before being returned.
 package solver
 
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/big"
+	"sort"
 
 	"weseer/internal/smt"
 )
@@ -47,6 +51,26 @@ type Stats struct {
 	Decisions   int
 	Conflicts   int
 	TheoryCalls int
+
+	// CDCL counters: literals assigned by watched-literal unit
+	// propagation, clauses learned from conflict analysis and theory
+	// cores, and conflicts whose backjump skipped at least one decision
+	// level (non-chronological backtracking at work).
+	Propagations   int
+	LearnedClauses int
+	Backjumps      int
+}
+
+// Add accumulates o's counters into s (for cross-call aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Atoms += o.Atoms
+	s.Clauses += o.Clauses
+	s.Decisions += o.Decisions
+	s.Conflicts += o.Conflicts
+	s.TheoryCalls += o.TheoryCalls
+	s.Propagations += o.Propagations
+	s.LearnedClauses += o.LearnedClauses
+	s.Backjumps += o.Backjumps
 }
 
 // Result is the outcome of Solve. Model is non-nil exactly when Status is
@@ -60,7 +84,7 @@ type Result struct {
 
 // Limits bound solver work; zero values select defaults.
 type Limits struct {
-	// MaxTheoryCalls caps DPLL(T) iterations before giving up UNKNOWN.
+	// MaxTheoryCalls caps CDCL(T) theory checks before giving up UNKNOWN.
 	MaxTheoryCalls int
 	// FM holds the arithmetic-theory limits.
 	FM fmLimits
@@ -84,21 +108,28 @@ func SolveLimits(f smt.Expr, lim Limits) Result {
 }
 
 // SolveCtx decides f under explicit resource limits, honoring ctx
-// cancellation: the DPLL(T) loop and the Fourier–Motzkin elimination
+// cancellation: the CDCL(T) loop and the Fourier–Motzkin elimination
 // rounds poll the context and abandon the search promptly once it is
 // done. A canceled call returns UNKNOWN; callers that need to tell
 // cancellation apart from a resource-limit UNKNOWN check ctx.Err().
 func SolveCtx(ctx context.Context, f smt.Expr, lim Limits) Result {
 	lim.setDefaults()
-	s := &session{lim: lim, atomByKey: map[string]int{}, intVars: map[string]bool{}}
+	s := &session{
+		lim:        lim,
+		boolAtoms:  map[string]int{},
+		strAtoms:   map[strPair]int{},
+		selAtomIdx: map[selKey]int{},
+		linBuckets: map[uint64][]int{},
+		intVars:    map[string]bool{},
+	}
 	if ctx != nil && ctx.Done() != nil {
 		stop := func() bool { return ctx.Err() != nil }
 		s.stop = stop
 		s.lim.FM.stop = stop
 	}
 	f = smt.Simplify(f)
-	for name, sort := range smt.VarSet(f) {
-		if sort == smt.SortInt {
+	for name, srt := range smt.VarSet(f) {
+		if srt == smt.SortInt {
 			s.intVars[name] = true
 		}
 	}
@@ -130,15 +161,21 @@ func SolveCtx(ctx context.Context, f smt.Expr, lim Limits) Result {
 	s.stats.Atoms = len(s.atoms)
 	s.stats.Clauses = len(b.clauses)
 
-	d := newDPLL(b.numVars, b.clauses, &s.stats)
-	atomVars := make([]int, len(s.atoms))
-	for i := range atomVars {
-		atomVars[i] = i
+	d := newCDCL(b.numVars, b.clauses, &s.stats)
+	theory := make([]bool, b.numVars)
+	for i := range s.atoms {
+		k := s.atoms[i].kind
+		theory[i] = k == aLin || k == aStr
 	}
+	d.theoryAtom = theory
 
-	// DPLL(T): propagate, theory-check the partial assignment (learning a
-	// shrunken unsat core on conflict), decide, repeat. At a full
-	// assignment the theory model is verified against the input formula.
+	// CDCL(T): propagate to fixpoint, theory-check the partial assignment
+	// (learning a shrunken unsat core on conflict and resolving it through
+	// first-UIP analysis), decide, repeat. At a full assignment the theory
+	// model is verified against the input formula. Theory checks are
+	// skipped while no new theory atom has been assigned since the last
+	// consistent check: a theory-consistent assignment stays consistent
+	// under purely Boolean/auxiliary extensions.
 	sawUnknown := false
 	exhausted := func() Result {
 		if sawUnknown {
@@ -146,44 +183,64 @@ func SolveCtx(ctx context.Context, f smt.Expr, lim Limits) Result {
 		}
 		return Result{Status: UNSAT, Stats: s.stats}
 	}
+	if !d.ok {
+		return exhausted()
+	}
+	checkedEvents := -1
 	for s.stats.TheoryCalls < lim.MaxTheoryCalls {
 		if s.stop != nil && s.stop() {
 			return Result{Status: UNKNOWN, Stats: s.stats}
 		}
-		if !d.propagate() {
-			d.stats.Conflicts++
-			if !d.backtrack() {
+		if confl := d.propagate(); confl != nil {
+			s.stats.Conflicts++
+			if !d.resolveConflict(confl) {
 				return exhausted()
 			}
 			continue
 		}
+		full := d.fullyAssigned()
+		if !full && d.theoryEvents == checkedEvents {
+			v := d.pickVar()
+			d.decide(v, s.preferredPhase(d, v))
+			continue
+		}
 		s.stats.TheoryCalls++
+		checkedEvents = d.theoryEvents
 		model, st, core := s.theoryCheck(d)
 		if st == linUNSAT {
 			// Learn the negation of the (shrunken) conflicting core and
-			// let propagation drive the backtrack.
+			// resolve it like any other conflict: analysis backjumps
+			// non-chronologically and the learned clause prunes every
+			// assignment extending the core, not just the current one.
 			cl := make([]lit, 0, len(core))
 			for _, id := range core {
 				cl = append(cl, mkLit(id, d.assign[id] == 1))
 			}
-			d.clauses = append(d.clauses, cl)
+			s.stats.Conflicts++
+			if !d.learnClause(cl) {
+				return exhausted()
+			}
 			continue
 		}
-		pick := d.pickUnassigned()
-		if pick == -1 {
+		if full {
 			// Full assignment with a consistent theory.
 			if st == linSAT && smt.Eval(f, model).B {
 				return Result{Status: SAT, Model: model, Stats: s.stats}
 			}
 			// UNKNOWN theory or (defensively) failed verification: block
-			// this complete assignment and move on.
+			// this complete atom assignment and move on.
 			sawUnknown = true
-			if !d.block(atomVars) {
+			cl := make([]lit, 0, len(s.atoms))
+			for id := range s.atoms {
+				cl = append(cl, mkLit(id, d.assign[id] == 1))
+			}
+			if !d.learnClause(cl) {
 				return exhausted()
 			}
 			continue
 		}
-		d.decide(pick, s.preferredPhase(pick))
+		v := d.pickVar()
+		d.decide(v, s.preferredPhase(d, v))
 	}
 	return Result{Status: UNKNOWN, Stats: s.stats}
 }
@@ -203,21 +260,44 @@ const (
 type atomInfo struct {
 	kind atomKind
 	lin  *linCon // for aLin; op ∈ {opLE, opLT, opEQ}
-	l, r strTerm // for aStr (always an equality atom)
-	name string  // for aBool
-	root string  // for aSel
+	// linNeg is the prebuilt negation of lin, so theory checks hand the
+	// arithmetic solver shared immutable constraints instead of cloning
+	// and negating per call.
+	linNeg *linCon
+	l, r   strTerm // for aStr (always an equality atom)
+	name   string  // for aBool
+	root   string  // for aSel
+	key    smt.Expr
+}
+
+// strPair interns string-equality atoms by their canonically ordered
+// operand pair; selKey interns select atoms by root array and hash-consed
+// key expression (interning makes structural key equality a pointer
+// compare).
+type strPair struct{ l, r strTerm }
+
+type selKey struct {
+	root string
 	key  smt.Expr
 }
 
 type session struct {
-	lim          Limits
-	atoms        []atomInfo
-	atomByKey    map[string]int
+	lim   Limits
+	atoms []atomInfo
+	// Typed atom-interning indexes, replacing the old flat string-key map
+	// (which rebuilt a canonical key string per lookup).
+	boolAtoms  map[string]int
+	strAtoms   map[strPair]int
+	selAtomIdx map[selKey]int
+	// linBuckets indexes linear atoms by a 64-bit structural fingerprint;
+	// candidates within a bucket are compared coefficient-wise.
+	linBuckets map[uint64][]int
+
 	intVars      map[string]bool
 	selAtoms     []int // indices of aSel atoms
 	extraClauses [][]lit
 	stats        Stats
-	// stop is polled inside the DPLL(T) loop; non-nil only for SolveCtx
+	// stop is polled inside the CDCL(T) loop; non-nil only for SolveCtx
 	// calls whose context can actually be canceled.
 	stop func() bool
 	// lastAsn caches the most recent satisfying arithmetic assignment;
@@ -227,16 +307,56 @@ type session struct {
 	lastAsn map[string]*big.Rat
 }
 
-func (s *session) intern(key string, info atomInfo) int {
-	if id, ok := s.atomByKey[key]; ok {
-		return id
-	}
+func (s *session) addAtom(info atomInfo) int {
 	id := len(s.atoms)
 	s.atoms = append(s.atoms, info)
-	s.atomByKey[key] = id
 	if info.kind == aSel {
 		s.selAtoms = append(s.selAtoms, id)
 	}
+	return id
+}
+
+func (s *session) internBool(name string) int {
+	if id, ok := s.boolAtoms[name]; ok {
+		return id
+	}
+	id := s.addAtom(atomInfo{kind: aBool, name: name})
+	s.boolAtoms[name] = id
+	return id
+}
+
+func (s *session) internStr(a, b strTerm) int {
+	k := strPair{l: a, r: b}
+	if id, ok := s.strAtoms[k]; ok {
+		return id
+	}
+	id := s.addAtom(atomInfo{kind: aStr, l: a, r: b})
+	s.strAtoms[k] = id
+	return id
+}
+
+func (s *session) internSel(root string, key smt.Expr) int {
+	k := selKey{root: root, key: key}
+	if id, ok := s.selAtomIdx[k]; ok {
+		return id
+	}
+	id := s.addAtom(atomInfo{kind: aSel, root: root, key: key})
+	s.selAtomIdx[k] = id
+	return id
+}
+
+func (s *session) internLin(lc *linCon) int {
+	h := linFingerprint(lc)
+	for _, id := range s.linBuckets[h] {
+		if linConEqual(s.atoms[id].lin, lc) {
+			return id
+		}
+	}
+	neg := negLinCon(lc)
+	lc.buildFast()
+	neg.buildFast()
+	id := s.addAtom(atomInfo{kind: aLin, lin: lc, linNeg: neg})
+	s.linBuckets[h] = append(s.linBuckets[h], id)
 	return id
 }
 
@@ -250,7 +370,7 @@ func (s *session) nnf(e smt.Expr, pos bool) (*pnode, bool) {
 		if t.S != smt.SortBool {
 			return nil, false
 		}
-		id := s.intern("bool:"+t.Name, atomInfo{kind: aBool, name: t.Name})
+		id := s.internBool(t.Name)
 		return &pnode{kind: pLit, lit: mkLit(id, !pos)}, true
 	case smt.Not:
 		return s.nnf(t.X, !pos)
@@ -273,8 +393,7 @@ func (s *session) nnf(e smt.Expr, pos bool) (*pnode, bool) {
 			// expandSelects should have removed non-root selects.
 			return nil, false
 		}
-		key := fmt.Sprintf("sel:%s|%s", t.Arr.ID, t.Key)
-		id := s.intern(key, atomInfo{kind: aSel, root: t.Arr.ID, key: t.Key})
+		id := s.internSel(t.Arr.ID, smt.Intern(t.Key))
 		return &pnode{kind: pLit, lit: mkLit(id, !pos)}, true
 	case *smt.Cmp:
 		return s.nnfCmp(t, pos)
@@ -302,7 +421,7 @@ func (s *session) nnfCmp(c *smt.Cmp, pos bool) (*pnode, bool) {
 		if b.key() < a.key() {
 			a, b = b, a
 		}
-		id := s.intern("str:"+a.key()+"="+b.key(), atomInfo{kind: aStr, l: a, r: b})
+		id := s.internStr(a, b)
 		neg := c.Op == smt.NE
 		return &pnode{kind: pLit, lit: mkLit(id, neg == pos)}, true
 	default:
@@ -381,7 +500,7 @@ func (s *session) nnfNum(c *smt.Cmp, pos bool) (*pnode, bool) {
 	rhs.Mul(rhs, inv)
 	lc.coeffs = coeffs
 	lc.rhs = rhs
-	id := s.intern("lin:"+linKey(lc), atomInfo{kind: aLin, lin: lc})
+	id := s.internLin(lc)
 	return &pnode{kind: pLit, lit: mkLit(id, neg == pos)}, true
 }
 
@@ -392,33 +511,55 @@ func negateLin(coeffs map[string]*big.Rat, rhs *big.Rat) {
 	rhs.Neg(rhs)
 }
 
-func linKey(c *linCon) string {
+// negLinCon returns the constraint satisfied exactly when c is violated.
+func negLinCon(c *linCon) *linCon {
+	n := c.clone()
+	switch n.op {
+	case opLE: // ¬(e ≤ b) ⇔ -e < -b
+		negateLin(n.coeffs, n.rhs)
+		n.op = opLT
+	case opLT: // ¬(e < b) ⇔ -e ≤ -b
+		negateLin(n.coeffs, n.rhs)
+		n.op = opLE
+	case opEQ:
+		n.op = opNE
+	}
+	return n
+}
+
+// linFingerprint hashes the canonical content of a linear constraint —
+// sorted (name, coefficient) pairs, operator, right-hand side — streaming
+// directly into the hash instead of building a key string.
+func linFingerprint(c *linCon) uint64 {
 	names := make([]string, 0, len(c.coeffs))
 	for x := range c.coeffs {
 		names = append(names, x)
 	}
-	sortStrings(names)
-	out := ""
+	sort.Strings(names)
+	h := fnv.New64a()
+	h.Write([]byte{byte(c.op)})
+	io.WriteString(h, c.rhs.RatString())
 	for _, x := range names {
-		out += c.coeffs[x].RatString() + "*" + x + "+"
+		io.WriteString(h, "|")
+		io.WriteString(h, x)
+		io.WriteString(h, "*")
+		io.WriteString(h, c.coeffs[x].RatString())
 	}
-	switch c.op {
-	case opLE:
-		out += "<="
-	case opLT:
-		out += "<"
-	case opEQ:
-		out += "="
-	}
-	return out + c.rhs.RatString()
+	return h.Sum64()
 }
 
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
+// linConEqual reports structural equality of two constraints.
+func linConEqual(a, b *linCon) bool {
+	if a.op != b.op || len(a.coeffs) != len(b.coeffs) || a.rhs.Cmp(b.rhs) != 0 {
+		return false
+	}
+	for x, av := range a.coeffs {
+		bv, ok := b.coeffs[x]
+		if !ok || av.Cmp(bv) != 0 {
+			return false
 		}
 	}
+	return true
 }
 
 // ackermann adds congruence clauses for every pair of select atoms over
@@ -432,8 +573,9 @@ func (s *session) ackermann() {
 			}
 			si := mkLit(s.selAtoms[i], false)
 			sj := mkLit(s.selAtoms[j], false)
-			if ai.key.String() == aj.key.String() {
-				// Syntactically identical keys: s_i ↔ s_j outright.
+			if ai.key == aj.key {
+				// Keys are hash-consed, so interface equality is
+				// structural identity: s_i ↔ s_j outright.
 				s.extraClauses = append(s.extraClauses,
 					[]lit{si.negate(), sj}, []lit{si, sj.negate()})
 				continue
@@ -461,17 +603,17 @@ func (s *session) ackermann() {
 // ---------------------------------------------------------------------------
 // Theory integration
 
-// theoryCheck validates the (possibly partial) DPLL assignment against
+// theoryCheck validates the (possibly partial) CDCL assignment against
 // the arithmetic and string theories. On inconsistency it returns a
 // shrunken unsat core of atom ids; on full consistency it constructs a
 // model.
-func (s *session) theoryCheck(d *dpll) (*smt.Model, linStatus, []int) {
+func (s *session) theoryCheck(d *cdcl) (*smt.Model, linStatus, []int) {
 	var linIDs, strIDs []int
-	for id, info := range s.atoms {
+	for id := range s.atoms {
 		if d.assign[id] == 0 {
 			continue
 		}
-		switch info.kind {
+		switch s.atoms[id].kind {
 		case aLin:
 			linIDs = append(linIDs, id)
 		case aStr:
@@ -486,23 +628,18 @@ func (s *session) theoryCheck(d *dpll) (*smt.Model, linStatus, []int) {
 		}
 		return out
 	}
+	// The arithmetic solvers never mutate their input constraints (they
+	// clone internally before substitution), so assignments share the
+	// atoms' prebuilt positive/negated constraints directly.
 	linCons := func(ids []int) []*linCon {
 		out := make([]*linCon, 0, len(ids))
 		for _, id := range ids {
-			lc := s.atoms[id].lin.clone()
-			if d.assign[id] != 1 {
-				switch lc.op {
-				case opLE: // ¬(e ≤ b) ⇔ -e < -b
-					negateLin(lc.coeffs, lc.rhs)
-					lc.op = opLT
-				case opLT: // ¬(e < b) ⇔ -e ≤ -b
-					negateLin(lc.coeffs, lc.rhs)
-					lc.op = opLE
-				case opEQ:
-					lc.op = opNE
-				}
+			info := &s.atoms[id]
+			if d.assign[id] == 1 {
+				out = append(out, info.lin)
+			} else {
+				out = append(out, info.linNeg)
 			}
-			out = append(out, lc)
 		}
 		return out
 	}
@@ -554,7 +691,7 @@ func (s *session) theoryCheck(d *dpll) (*smt.Model, linStatus, []int) {
 		}
 		s.lastAsn = numAsn
 	}
-	if d.pickUnassigned() != -1 {
+	if !d.fullyAssigned() {
 		// Partial assignment: consistent so far; no model needed yet.
 		return nil, linSAT, nil
 	}
@@ -595,18 +732,18 @@ func (s *session) theoryCheck(d *dpll) (*smt.Model, linStatus, []int) {
 	return m, linSAT, nil
 }
 
-// preferredPhase proposes a decision polarity that agrees with the
-// cached arithmetic model, keeping most decisions theory-consistent so
-// the expensive Fourier–Motzkin path stays cold.
-func (s *session) preferredPhase(v int) bool {
-	if v >= len(s.atoms) {
-		return false // Tseitin auxiliary: no preference
+// preferredPhase proposes a decision polarity: the value the cached
+// arithmetic model already satisfies (keeping most decisions theory-
+// consistent so the expensive Fourier–Motzkin path stays cold), falling
+// back to the engine's saved phase from before the last backjump.
+func (s *session) preferredPhase(d *cdcl, v int) bool {
+	if v < len(s.atoms) {
+		info := &s.atoms[v]
+		if info.kind == aLin && s.lastAsn != nil {
+			return info.lin.holds(s.lastAsn)
+		}
 	}
-	info := s.atoms[v]
-	if info.kind == aLin && s.lastAsn != nil {
-		return info.lin.holds(s.lastAsn)
-	}
-	return false
+	return d.savedPhase(v) == 1
 }
 
 // shrinkCore minimizes an inconsistent atom set by chunked deletion:
@@ -616,8 +753,11 @@ func shrinkCore(ids []int, stillUnsat func([]int) bool) []int {
 	return shrinkCoreCapped(ids, 192, stillUnsat)
 }
 
-func shrinkCoreCapped(ids []int, cap int, stillUnsat func([]int) bool) []int {
-	if len(ids) > cap {
+// shrinkCoreCapped is shrinkCore with an explicit size cap: sets larger
+// than maxLen are returned unshrunk, bounding the number of (possibly
+// expensive) stillUnsat probes.
+func shrinkCoreCapped(ids []int, maxLen int, stillUnsat func([]int) bool) []int {
+	if len(ids) > maxLen {
 		return ids
 	}
 	core := append([]int(nil), ids...)

@@ -29,4 +29,9 @@ go test ./...
 echo "== go test -race (core, solver, smt)"
 go test -race ./internal/core/... ./internal/solver/... ./internal/smt/...
 
+# Compile-and-run smoke of the microbenchmarks (one iteration each):
+# catches bit-rot in bench-only code without paying for real timing runs.
+echo "== go test -bench (1x smoke)"
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "verify: OK"
