@@ -24,6 +24,12 @@
 // baseline. Both writes are gated on the serial and parallel reports
 // being byte-identical; a mismatch exits non-zero instead.
 //
+// -traceout FILE and -metricsout FILE re-run the table2 parallel
+// diagnosis once more with an observer attached — after the identity
+// check, so instrumentation cannot skew the timed comparison — and
+// write the spans as Chrome trace_event JSON and the metrics in
+// Prometheus text format next to the BENCH files.
+//
 // -cpuprofile FILE and -memprofile FILE capture pprof profiles of
 // whatever experiments run.
 package main
@@ -46,6 +52,7 @@ import (
 	"weseer/internal/concolic"
 	"weseer/internal/core"
 	"weseer/internal/minidb"
+	"weseer/internal/obs"
 	"weseer/internal/schema"
 	"weseer/internal/trace"
 	"weseer/internal/workload"
@@ -59,6 +66,8 @@ var (
 	solverOutF = flag.String("solverout", "", "write the table2 solver-engine breakdown as versioned JSON to this file")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	traceOutF  = flag.String("traceout", "", "write a Chrome trace_event JSON of an observed table2 parallel run")
+	metricsF   = flag.String("metricsout", "", "write the observed table2 run's metrics in Prometheus text format")
 )
 
 func main() {
@@ -328,6 +337,40 @@ func pipelineBench(blTraces, shTraces []*trace.Trace) {
 	}
 	if *solverOutF != "" {
 		writeSolverBench(serial, par, workers)
+	}
+	if *traceOutF != "" || *metricsF != "" {
+		observedRun(blTraces, shTraces, workers)
+	}
+}
+
+// observedRun repeats the parallel table2 diagnosis with an observer
+// attached and writes the requested telemetry artifacts. It runs after
+// the serial/parallel identity check so instrumentation cannot skew the
+// timed comparison; one observer spans both apps, so the trace shows
+// two back-to-back analyze trees and the metrics aggregate the full
+// workload.
+func observedRun(blTraces, shTraces []*trace.Trace, workers int) {
+	o := obs.NewObserver()
+	_, err := core.NewAnalyzer(broadleaf.Schema(),
+		core.WithParallelism(workers), core.WithObserver(o)).
+		AnalyzeContext(context.Background(), blTraces)
+	check(err)
+	_, err = core.NewAnalyzer(shopizer.Schema(),
+		core.WithParallelism(workers), core.WithObserver(o)).
+		AnalyzeContext(context.Background(), shTraces)
+	check(err)
+	write := func(path string, render func(*os.File) error) {
+		f, err := os.Create(path)
+		check(err)
+		check(render(f))
+		check(f.Close())
+		fmt.Printf("  wrote %s\n", path)
+	}
+	if *traceOutF != "" {
+		write(*traceOutF, func(f *os.File) error { return o.Tracer.WriteChromeTrace(f) })
+	}
+	if *metricsF != "" {
+		write(*metricsF, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
 	}
 }
 

@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v]
+//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
 //	weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json]
+//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [observability flags]
 //	weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]
+//
+// Observability flags ("run" and "analyze"): -debug-addr ADDR serves
+// /metrics (Prometheus text), /progress (phase, chains done/total,
+// ETA), and /debug/pprof/* live during the run; -trace-out FILE writes
+// a Chrome trace_event JSON (open in chrome://tracing or Perfetto);
+// -events-out FILE writes the spans as flat JSONL; -metrics-out FILE
+// writes the final metrics in Prometheus text format. Telemetry is
+// observational only — the report is identical with or without it.
 //
 // "run" pipes collection into analysis; "collect"/"analyze" split the
 // stages through a JSON trace file (Fig. 2's trace hand-off). -plans
@@ -37,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,6 +57,7 @@ import (
 	"weseer/internal/concolic"
 	"weseer/internal/core"
 	"weseer/internal/minidb"
+	"weseer/internal/obs"
 	"weseer/internal/replay"
 	"weseer/internal/schema"
 	"weseer/internal/staticlint"
@@ -81,10 +91,82 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v]
+  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
   weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json]
-  weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]`)
+  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [obs flags]
+  weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]
+
+observability flags (run/analyze): -debug-addr :6060  -trace-out run.trace.json
+  -events-out run.events.jsonl  -metrics-out run.metrics.prom`)
+}
+
+// obsFlags are the shared observability flags of "run" and "analyze".
+type obsFlags struct {
+	debugAddr  *string
+	traceOut   *string
+	eventsOut  *string
+	metricsOut *string
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		debugAddr:  fs.String("debug-addr", "", "serve /metrics, /progress, and /debug/pprof on this address during the run (e.g. :6060)"),
+		traceOut:   fs.String("trace-out", "", "write a Chrome trace_event JSON span file (open in chrome://tracing or Perfetto)"),
+		eventsOut:  fs.String("events-out", "", "write the spans as a flat JSONL event log"),
+		metricsOut: fs.String("metrics-out", "", "write the final metrics in Prometheus text format"),
+	}
+}
+
+// setup creates an observer (nil when no observability flag is set) and
+// returns a finish func that writes the requested export files and
+// stops the debug server. The finish func is safe to call exactly once.
+func (f *obsFlags) setup() (*obs.Observer, func() error, error) {
+	noop := func() error { return nil }
+	if *f.debugAddr == "" && *f.traceOut == "" && *f.eventsOut == "" && *f.metricsOut == "" {
+		return nil, noop, nil
+	}
+	o := obs.NewObserver()
+	var ds *obs.DebugServer
+	if *f.debugAddr != "" {
+		var err error
+		ds, err = obs.StartDebugServer(*f.debugAddr, o)
+		if err != nil {
+			return nil, noop, err
+		}
+		fmt.Fprintf(os.Stderr, "weseer: debug endpoint on http://%s (/metrics /progress /debug/pprof)\n", ds.Addr())
+	}
+	finish := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if *f.traceOut != "" {
+			keep(writeFileWith(*f.traceOut, o.Tracer.WriteChromeTrace))
+		}
+		if *f.eventsOut != "" {
+			keep(writeFileWith(*f.eventsOut, o.Tracer.WriteJSONL))
+		}
+		if *f.metricsOut != "" {
+			keep(writeFileWith(*f.metricsOut, o.Metrics.WritePrometheus))
+		}
+		keep(ds.Close())
+		return firstErr
+	}
+	return o, finish, nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	fl, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fl); err != nil {
+		fl.Close()
+		return err
+	}
+	return fl.Close()
 }
 
 // appUnit bundles what the CLI needs from a model application.
@@ -115,7 +197,7 @@ func makeApp(name string, fixed bool) (*appUnit, error) {
 	return nil, fmt.Errorf("unknown app %q (want broadleaf or shopizer)", name)
 }
 
-func cmdRun(args []string) error {
+func cmdRun(args []string) (err error) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	appName := fs.String("app", "broadleaf", "application to diagnose")
 	fixed := fs.Bool("fixed", false, "apply the Table II fixes before collecting")
@@ -127,13 +209,27 @@ func cmdRun(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report instead of text")
 	reproduce := fs.Bool("reproduce", false, "replay every report against a live database (Sec. V-D)")
 	verbose := fs.Bool("v", false, "print every deadlock report")
+	of := registerObsFlags(fs)
 	fs.Parse(args)
 
 	app, err := makeApp(*appName, *fixed)
 	if err != nil {
 		return err
 	}
-	traces, err := appkit.Collect(app.tests, concolic.ModeConcolic)
+	o, obsDone, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsDone(); e != nil && err == nil {
+			err = e
+		}
+	}()
+	var collectOpts []concolic.Option
+	if o != nil {
+		collectOpts = append(collectOpts, concolic.WithObserver(o))
+	}
+	traces, err := appkit.Collect(app.tests, concolic.ModeConcolic, collectOpts...)
 	if err != nil {
 		return err
 	}
@@ -147,6 +243,9 @@ func cmdRun(args []string) error {
 	opts := analysisOptions(*coarse, *prescreen, *parallel)
 	if *plans {
 		opts = append(opts, core.WithConcretePlans())
+	}
+	if o != nil {
+		opts = append(opts, core.WithObserver(o))
 	}
 	res, err := analyzeCtx(app, traces, *timeout, opts)
 	if err != nil {
@@ -208,7 +307,7 @@ func cmdCollect(args []string) error {
 	return nil
 }
 
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(args []string) (err error) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	appName := fs.String("app", "broadleaf", "application the traces came from")
 	in := fs.String("i", "traces.json", "input trace file")
@@ -218,6 +317,7 @@ func cmdAnalyze(args []string) error {
 	timeout := fs.Duration("timeout", 0, "bound the analysis wall time (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report instead of text")
 	verbose := fs.Bool("v", false, "print every deadlock report")
+	of := registerObsFlags(fs)
 	fs.Parse(args)
 
 	app, err := makeApp(*appName, false)
@@ -232,7 +332,20 @@ func cmdAnalyze(args []string) error {
 	if err := json.Unmarshal(data, &traces); err != nil {
 		return err
 	}
-	res, err := analyzeCtx(app, traces, *timeout, analysisOptions(*coarse, *prescreen, *parallel))
+	o, obsDone, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsDone(); e != nil && err == nil {
+			err = e
+		}
+	}()
+	opts := analysisOptions(*coarse, *prescreen, *parallel)
+	if o != nil {
+		opts = append(opts, core.WithObserver(o))
+	}
+	res, err := analyzeCtx(app, traces, *timeout, opts)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 
+	"weseer/internal/obs"
 	"weseer/internal/smt"
 	"weseer/internal/trace"
 )
@@ -70,6 +71,11 @@ type Engine struct {
 	stmtSeq int
 	txnSeq  int
 	symSeq  int
+
+	// obs, when non-nil, receives one "extract" span per
+	// StartConcolic/EndConcolic pair plus extraction counters.
+	obs  *obs.Observer
+	span obs.Span
 }
 
 // Option configures an Engine.
@@ -78,6 +84,12 @@ type Option func(*Engine)
 // WithoutPruning disables the Sec. IV path-condition pruning; used by the
 // pruning experiment.
 func WithoutPruning() Option { return func(e *Engine) { e.prune = false } }
+
+// WithObserver attaches an observability sink: each unit test's
+// extraction (StartConcolic to EndConcolic) becomes an "extract" span,
+// and collected traces feed the extraction counters. Observational
+// only; nil disables it.
+func WithObserver(o *obs.Observer) Option { return func(e *Engine) { e.obs = o } }
 
 // New returns an engine in the given mode with pruning enabled.
 func New(mode Mode, opts ...Option) *Engine {
@@ -104,6 +116,10 @@ func (e *Engine) StartConcolic(api string) {
 	e.stmtSeq = 0
 	e.txnSeq = 0
 	e.symSeq = 0
+	if e.obs != nil {
+		e.span = e.obs.StartSpan(0, "extract",
+			obs.String("api", api), obs.String("mode", e.mode.String()))
+	}
 }
 
 // EndConcolic stops collection and returns the trace (nil in ModeOff).
@@ -112,7 +128,21 @@ func (e *Engine) EndConcolic() *trace.Trace {
 	tr := e.tr
 	e.tr = nil
 	if e.mode == ModeOff {
-		return nil
+		tr = nil
+	}
+	if e.obs != nil {
+		stmts, pcs := 0, 0
+		if tr != nil {
+			stmts, pcs = tr.Stats.Statements, tr.Stats.PathConds
+		}
+		e.span.End(obs.Int("statements", stmts), obs.Int("path_conds", pcs))
+		e.span = obs.Span{}
+		if tr != nil {
+			m := e.obs.P()
+			m.ExtractedTraces.Inc()
+			m.ExtractedStmts.Add(int64(stmts))
+			m.ExtractedPathConds.Add(int64(pcs))
+		}
 	}
 	return tr
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"weseer/internal/obs"
 	"weseer/internal/schema"
 	"weseer/internal/smt"
 	"weseer/internal/staticlint"
@@ -132,6 +133,15 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 	}
 	res.Stats.Parallelism = workers
 
+	o := a.opts.Observer
+	var spAnalyze, spEnum obs.Span
+	if o != nil {
+		spAnalyze = o.StartSpan(0, "analyze", obs.Int("traces", len(traces)))
+		o.P().Traces.Add(int64(len(traces)))
+		o.Progress.SetPhase("enumerate")
+		spEnum = o.StartSpan(0, "enumerate", obs.Bool("prescreen", a.opts.StaticPrescreen))
+	}
+
 	a.ps = nil
 	a.edgeMemo = &sync.Map{}
 	if a.opts.StaticPrescreen {
@@ -146,7 +156,18 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 	start := time.Now()
 	chains, err := a.enumerate(ctx, traces, res)
 	res.Stats.EnumTime = time.Since(start)
+	if o != nil {
+		spEnum.End(obs.Int("chains", len(chains)),
+			obs.Int("coarse_cycles", res.Stats.CoarseCycles))
+		m := o.P()
+		m.Pairs.Add(int64(res.Stats.Pairs))
+		m.PairsAfterPhase1.Add(int64(res.Stats.PairsAfterPhase1))
+		m.CoarseCycles.Add(int64(res.Stats.CoarseCycles))
+		m.PrescreenPairs.Add(int64(res.Stats.PrescreenPairs))
+		m.PrescreenPairsPruned.Add(int64(res.Stats.PrescreenPairsPruned))
+	}
 	if err != nil {
+		a.finishObs(o, spAnalyze, res, err)
 		return res, err
 	}
 
@@ -158,7 +179,25 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 	sort.SliceStable(res.Deadlocks, func(x, y int) bool {
 		return res.Deadlocks[x].Key < res.Deadlocks[y].Key
 	})
+	a.finishObs(o, spAnalyze, res, err)
 	return res, err
+}
+
+// finishObs closes the run's root span, marks the progress phase, and
+// snapshots the metrics into the result so a run's telemetry travels
+// with its report. No-op without an observer.
+func (a *Analyzer) finishObs(o *obs.Observer, spAnalyze obs.Span, res *Result, err error) {
+	if o == nil {
+		return
+	}
+	phase := "done"
+	if err != nil {
+		phase = "aborted"
+	}
+	o.Progress.SetPhase(phase)
+	spAnalyze.End(obs.Int("deadlocks", len(res.Deadlocks)),
+		obs.Bool("aborted", err != nil))
+	res.Metrics = o.Snapshot()
 }
 
 // enumerate runs phases 1 and 2: transaction-pair filtering, the Phase-0

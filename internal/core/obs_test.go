@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"weseer/internal/obs"
+	"weseer/internal/obs/obstest"
+	"weseer/internal/trace"
+)
+
+// obsTraces is pipelineTraces inflated with enough API variants that
+// phase 3 has dozens of chains — long enough for a mid-flight cancel to
+// land while workers are still discharging.
+func obsTraces() []*trace.Trace {
+	traces := pipelineTraces()
+	for i := 0; i < 40; i++ {
+		traces = append(traces, finishOrderVariant("Variant", 1000+10*i))
+	}
+	return traces
+}
+
+// TestObserverPreservesDeterminism is the tentpole's core guarantee:
+// attaching an observer must not change a single byte of the report, at
+// any parallelism, while the observer's own snapshot must agree with
+// the report's funnel counters.
+func TestObserverPreservesDeterminism(t *testing.T) {
+	traces := pipelineTraces()
+	plain, err := NewAnalyzer(fig1Schema(), WithParallelism(1)).
+		AnalyzeContext(context.Background(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != nil {
+		t.Error("Result.Metrics must stay nil without an observer")
+	}
+	for _, workers := range []int{1, 4} {
+		o := obs.NewObserver()
+		res, err := NewAnalyzer(fig1Schema(), WithParallelism(workers), WithObserver(o)).
+			AnalyzeContext(context.Background(), traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.Deadlocks, res.Deadlocks) {
+			t.Fatalf("p%d: observer changed the deadlock report", workers)
+		}
+		if plain.Stats.WithoutTimings() != res.Stats.WithoutTimings() {
+			t.Fatalf("p%d: observer changed the funnel: %+v vs %+v",
+				workers, plain.Stats.WithoutTimings(), res.Stats.WithoutTimings())
+		}
+		if res.Metrics == nil {
+			t.Fatal("observed run must attach the metrics snapshot to the result")
+		}
+		for metric, want := range map[string]int{
+			"weseer_funnel_groups_solved_total": res.Stats.GroupsSolved,
+			"weseer_funnel_solver_calls_total":  res.Stats.SolverCalls,
+			"weseer_funnel_memo_hits_total":     res.Stats.MemoHits,
+			"weseer_solver_sat_total":           res.Stats.SolverSAT,
+		} {
+			if got := res.Metrics[metric]; got != float64(want) {
+				t.Errorf("p%d: Result.Metrics[%s] = %v, want %d", workers, metric, got, want)
+			}
+		}
+
+		// The trace must cover the whole pipeline: a root span, the
+		// enumerate and discharge phases, per-chain spans, and at least
+		// one solver span per busy worker thread.
+		var buf bytes.Buffer
+		if err := o.Tracer.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := obstest.ValidateChromeTrace(&buf)
+		if err != nil {
+			t.Fatalf("p%d: invalid Chrome trace: %v", workers, err)
+		}
+		for _, name := range []string{"analyze", "enumerate", "discharge", "chain", "solve"} {
+			if sum.NameCount[name] == 0 {
+				t.Errorf("p%d: trace has no %q span", workers, name)
+			}
+		}
+		if sum.NameCount["chain"] != res.Stats.GroupsSolved && sum.NameCount["chain"] == 0 {
+			t.Errorf("p%d: no chain spans recorded", workers)
+		}
+		if got := o.Progress.Snapshot().Phase; got != "done" {
+			t.Errorf("p%d: final progress phase = %q, want done", workers, got)
+		}
+	}
+}
+
+// TestObserverCancellationHygiene cancels an observed analysis while
+// phase-3 workers are mid-discharge and asserts that everything the run
+// spawned — the worker pool and the debug HTTP server — exits, leaving
+// the process at its baseline goroutine count. The leak check is
+// hand-rolled: count, retry with backoff, and dump the stack diff on
+// failure.
+func TestObserverCancellationHygiene(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	o := obs.NewObserver()
+	ds, err := obs.StartDebugServer("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewAnalyzer(fig1Schema(), WithParallelism(4), WithObserver(o)).
+			AnalyzeContext(ctx, obsTraces())
+		done <- err
+	}()
+
+	// Wait until phase 3 is demonstrably underway — at least one chain
+	// discharged — then cancel mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := o.Progress.Snapshot()
+		if s.Phase == "fine" && s.ChainsDone >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("phase 3 never started: %+v", s)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Exercise the live endpoint while workers are running.
+	resp, err := http.Get("http://" + ds.Addr() + "/progress")
+	if err != nil {
+		t.Fatalf("GET /progress: %v", err)
+	}
+	resp.Body.Close()
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("AnalyzeContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled analysis did not return within 10s")
+	}
+	if got := o.Progress.Snapshot().Phase; got != "aborted" {
+		t.Errorf("final progress phase = %q, want aborted", got)
+	}
+	if err := ds.Close(); err != nil {
+		t.Errorf("debug server close: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	// All spawned goroutines — 4 pool workers, the HTTP server's
+	// listener and handlers — must be gone. Retry briefly: exiting
+	// goroutines are not instantaneous.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(leakDeadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	stacks := string(buf[:runtime.Stack(buf, true)])
+	var leaked []string
+	for _, g := range strings.Split(stacks, "\n\n") {
+		if strings.Contains(g, "weseer/") || strings.Contains(g, "net/http") {
+			leaked = append(leaked, g)
+		}
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s",
+		runtime.NumGoroutine(), baseline, strings.Join(leaked, "\n\n"))
+}

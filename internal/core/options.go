@@ -1,6 +1,7 @@
 package core
 
 import (
+	"weseer/internal/obs"
 	"weseer/internal/schema"
 	"weseer/internal/solver"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	// discharged candidate runs its own solver call on the original,
 	// un-canonicalized formula.
 	DisableMemo bool
+	// Observer, when non-nil, receives spans, metrics, and progress from
+	// the run. Telemetry is observational only: the report is identical
+	// with or without it. Nil (the default) disables all instrumentation
+	// at zero cost — every hook is guarded on the observer.
+	Observer *obs.Observer
 }
 
 // Option is a functional analysis option, applied by NewAnalyzer.
@@ -97,6 +103,17 @@ func WithoutPhase1() Option {
 // solving (ablation: every deduplicated coarse cycle goes to the solver).
 func WithoutLockFilter() Option {
 	return func(o *Options) { o.SkipLockFilter = true }
+}
+
+// WithObserver attaches an observability sink: the run emits spans
+// (concolic extraction is instrumented separately via
+// concolic.WithObserver; here: phases 0–3, each phase-3 chain, each
+// solver call), funnel/engine metrics, and live progress into o.
+// Telemetry never feeds back into the analysis, so the determinism
+// guarantee — byte-identical reports at any parallelism — holds with
+// the observer attached. The default (nil) is a no-op.
+func WithObserver(o *obs.Observer) Option {
+	return func(opts *Options) { opts.Observer = o }
 }
 
 // WithoutMemo disables solver-call memoization (ablation).

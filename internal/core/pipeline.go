@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"weseer/internal/lockmodel"
+	"weseer/internal/obs"
 	"weseer/internal/schema"
 	"weseer/internal/smt"
 	"weseer/internal/solver"
@@ -54,7 +55,11 @@ type chainOutcome struct {
 // merges the outcomes in chain order. In coarse-only mode every chain
 // becomes a report without any solving.
 func (a *Analyzer) discharge(ctx context.Context, chains []*chain, workers int, res *Result) error {
+	o := a.opts.Observer
 	if a.opts.CoarseOnly {
+		if o != nil {
+			o.Progress.SetPhase("coarse-report")
+		}
 		for _, ch := range chains {
 			cyc := ch.cycles[0]
 			res.Deadlocks = append(res.Deadlocks, &Deadlock{
@@ -74,10 +79,21 @@ func (a *Analyzer) discharge(ctx context.Context, chains []*chain, workers int, 
 	if workers > len(chains) {
 		workers = len(chains)
 	}
+	var spFine obs.Span
+	if o != nil {
+		o.Progress.SetPhase("fine")
+		o.Progress.SetChains(int64(len(chains)))
+		o.P().ChainsTotal.Set(int64(len(chains)))
+		o.P().ChainsDone.Set(0)
+		spFine = o.StartSpan(0, "discharge",
+			obs.Int("chains", len(chains)), obs.Int("workers", workers))
+		defer func() { spFine.End() }()
+	}
 	outcomes := make([]chainOutcome, len(chains))
 	if workers <= 1 {
 		for i, ch := range chains {
-			outcomes[i] = a.evalChain(ctx, ch, memo)
+			outcomes[i] = a.evalChain(ctx, ch, memo, 1)
+			noteChainDone(o, &outcomes[i])
 			if outcomes[i].err != nil {
 				break
 			}
@@ -87,12 +103,13 @@ func (a *Analyzer) discharge(ctx context.Context, chains []*chain, workers int, 
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(tid int) {
 				defer wg.Done()
 				for i := range jobs {
-					outcomes[i] = a.evalChain(ctx, chains[i], memo)
+					outcomes[i] = a.evalChain(ctx, chains[i], memo, tid)
+					noteChainDone(o, &outcomes[i])
 				}
-			}()
+			}(w + 1)
 		}
 	feed:
 		for i := range chains {
@@ -134,16 +151,46 @@ func (a *Analyzer) discharge(ctx context.Context, chains []*chain, workers int, 
 	return err
 }
 
-// evalChain discharges one chain: candidates are checked in enumeration
-// order until one is confirmed SAT; later duplicates fold into Count.
-func (a *Analyzer) evalChain(ctx context.Context, ch *chain, memo *memoTable) chainOutcome {
+// noteChainDone publishes one discharged chain's outcome to the
+// observer: progress and the funnel counters, field for field the same
+// additions the stage-4 merge performs on res.Stats, so after a run
+// /metrics and Result.Stats agree. No-op without an observer.
+func noteChainDone(o *obs.Observer, out *chainOutcome) {
+	if o == nil {
+		return
+	}
+	o.Progress.ChainDone()
+	m := o.P()
+	m.ChainsDone.Add(1)
+	m.LockFiltered.Add(int64(out.lockFiltered))
+	m.PrescreenSaved.Add(int64(out.prescreenSaved))
+	m.GroupsSolved.Add(int64(out.groupsSolved))
+	m.SolverCalls.Add(int64(out.solverCalls))
+	m.MemoHits.Add(int64(out.memoHits))
+	m.SAT.Add(int64(out.sat))
+	m.UNSAT.Add(int64(out.unsat))
+	m.Unknown.Add(int64(out.unknown))
+}
+
+// evalChain discharges one chain on logical worker tid: candidates are
+// checked in enumeration order until one is confirmed SAT; later
+// duplicates fold into Count.
+func (a *Analyzer) evalChain(ctx context.Context, ch *chain, memo *memoTable, tid int) chainOutcome {
 	var out chainOutcome
+	if o := a.opts.Observer; o != nil {
+		sp := o.StartSpan(tid, "chain", obs.Int("cycles", len(ch.cycles)))
+		defer func() {
+			sp.End(obs.Bool("deadlock", out.deadlock != nil),
+				obs.Int("groups_solved", out.groupsSolved),
+				obs.Int("memo_hits", out.memoHits))
+		}()
+	}
 	for idx, cyc := range ch.cycles {
 		if err := ctx.Err(); err != nil {
 			out.err = err
 			return out
 		}
-		d := a.fineCheckOne(ctx, cyc, ch.key, memo, &out)
+		d := a.fineCheckOne(ctx, cyc, ch.key, memo, tid, &out)
 		if out.err != nil {
 			return out
 		}
@@ -160,7 +207,7 @@ func (a *Analyzer) evalChain(ctx context.Context, ch *chain, memo *memoTable) ch
 // filter, Phase-0 group refutation, then (memoized) SMT solving of
 // conflict + path conditions. It returns a Deadlock when the cycle is
 // confirmed SAT.
-func (a *Analyzer) fineCheckOne(ctx context.Context, cyc Cycle, key string, memo *memoTable, out *chainOutcome) *Deadlock {
+func (a *Analyzer) fineCheckOne(ctx context.Context, cyc Cycle, key string, memo *memoTable, tid int, out *chainOutcome) *Deadlock {
 	// Quick filter: each C-edge needs a modeled lock collision.
 	if !a.opts.SkipLockFilter {
 		if !lockmodel.PotentialConflict(cyc.S1b, cyc.S2a, a.scm, a.opts.UseConcretePlans) ||
@@ -188,16 +235,21 @@ func (a *Analyzer) fineCheckOne(ctx context.Context, cyc Cycle, key string, memo
 	formula := a.cycleFormula(cyc)
 	out.groupsSolved++
 
+	lim := a.opts.Solver
+	if o := a.opts.Observer; o != nil {
+		lim.Obs = o
+		lim.ObsTID = tid
+	}
 	var sres solver.Result
 	if memo != nil {
 		var hit bool
-		sres, hit = memo.solve(ctx, formula, a.opts.Solver, out)
+		sres, hit = memo.solve(ctx, formula, lim, out)
 		if hit {
 			out.memoHits++
 		}
 	} else {
 		start := time.Now()
-		sres = solver.SolveCtx(ctx, formula, a.opts.Solver)
+		sres = solver.SolveCtx(ctx, formula, lim)
 		out.solverTime += time.Since(start)
 		out.solverCalls++
 		out.engine.Add(sres.Stats)
@@ -314,10 +366,18 @@ type edgeKey struct {
 func (a *Analyzer) edgeCondCached(x, y *trace.Stmt, rowPrefix string) smt.Expr {
 	k := edgeKey{x: x, y: y, rowPrefix: rowPrefix}
 	if e, ok := a.edgeMemo.Load(k); ok {
+		if o := a.opts.Observer; o != nil {
+			o.P().EdgeCacheHits.Inc()
+		}
 		return e.(smt.Expr)
 	}
 	nm := lockmodel.NewNamer("rng." + rowPrefix)
 	e := smt.Intern(edgeCond(x, y, a.scm, rowPrefix, nm, a.opts.UseConcretePlans))
+	// Hit/build attribution is metrics-only and may race benignly between
+	// workers building the same edge — it never reaches the report.
+	if o := a.opts.Observer; o != nil {
+		o.P().EdgeCacheBuilds.Inc()
+	}
 	// Concurrent workers may race to build the same edge; both builds are
 	// identical and interned, so either value is fine to keep.
 	actual, _ := a.edgeMemo.LoadOrStore(k, e)

@@ -22,6 +22,12 @@ import (
 type Result struct {
 	Deadlocks []*Deadlock
 	Stats     Stats
+	// Metrics is the observer's flattened metrics snapshot taken when the
+	// run finished (nil without WithObserver): the same counters /metrics
+	// serves, frozen into the report so a run's telemetry travels with
+	// it. Purely observational — not part of the deterministic report
+	// surface (it includes timing histograms).
+	Metrics map[string]float64
 }
 
 // Stats is the per-phase diagnosis funnel: how many candidates entered
@@ -103,11 +109,18 @@ func (s Stats) Render() string {
 	if s.Parallelism > 1 {
 		par = fmt.Sprintf(" on %d workers", s.Parallelism)
 	}
+	engine := ""
+	if s.Engine != (solver.Stats{}) {
+		e := s.Engine
+		engine = fmt.Sprintf(
+			"\nengine: %d decisions, %d conflicts, %d propagations, %d learned clauses, %d backjumps, %d theory calls",
+			e.Decisions, e.Conflicts, e.Propagations, e.LearnedClauses, e.Backjumps, e.TheoryCalls)
+	}
 	return fmt.Sprintf(
-		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s",
+		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s%s",
 		s.Traces, s.Pairs, s.PairsAfterPhase1, s.CoarseCycles,
 		s.LockFiltered, s.GroupsSolved, s.SolverCalls, memo,
-		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, pre)
+		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, pre, engine)
 }
 
 // Render formats one deadlock.

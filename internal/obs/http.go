@@ -1,0 +1,91 @@
+package obs
+
+// The live debug endpoint behind `weseer analyze -debug-addr`: /metrics
+// serves the registry in Prometheus text format, /progress serves the
+// run's live Snapshot as JSON, and /debug/pprof/* exposes the stdlib
+// profiler. The server binds synchronously (so a bad address fails
+// fast and tests can use ":0") and shuts down cleanly via Close.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves an observer's live state over HTTP.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// StartDebugServer binds addr (e.g. ":6060", or ":0" for an ephemeral
+// port) and serves o's metrics and progress plus net/http/pprof. The
+// listener is bound synchronously; serving happens in a background
+// goroutine until Close.
+func StartDebugServer(addr string, o *Observer) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o != nil && o.Metrics != nil {
+			_ = o.Metrics.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap Snapshot
+		if o != nil {
+			snap = o.Progress.Snapshot()
+		} else {
+			snap = (*Progress)(nil).Snapshot()
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ds.done)
+		_ = ds.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *DebugServer) Addr() string {
+	if ds == nil {
+		return ""
+	}
+	return ds.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests,
+// and blocks until the serve goroutine has exited. Nil-safe.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := ds.srv.Shutdown(ctx)
+	if err != nil {
+		err = ds.srv.Close()
+	}
+	<-ds.done
+	return err
+}

@@ -1,0 +1,246 @@
+package obs
+
+// A small metrics registry — counters, gauges, fixed-bucket histograms —
+// exposed in Prometheus text exposition format and snapshot-able into a
+// flat name→value map (core.Result carries such a snapshot so a run's
+// telemetry travels with its report). Instruments are lock-free atomics;
+// registration is expected at setup time, reads/writes at run time.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored: counters are
+// monotonic by contract).
+func (c *Counter) Add(d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable integer metric.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket[i] counts observations ≤ bounds[i], plus an
+// implicit +Inf bucket).
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Int64 // len(bounds)+1; last is +Inf
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// SolverLatencyBuckets are the fixed solver-latency histogram bounds in
+// seconds: the Table II workload's calls span ~100µs to tens of ms, with
+// the tail bounds catching pathological formulas.
+var SolverLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Registry holds registered instruments and renders them in Prometheus
+// text exposition format. Registration order is preserved in the
+// output, so exposition is stable across runs.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]bool
+	order []any // *Counter | *Gauge | *Histogram, in registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(name string, inst any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("obs: duplicate metric " + name)
+	}
+	r.names[name] = true
+	r.order = append(r.order, inst)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Histogram registers and returns a new fixed-bucket histogram. Bounds
+// must be sorted ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted: " + name)
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds}
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+	r.register(name, h)
+	return h
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every registered instrument in Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]any(nil), r.order...)
+	r.mu.Unlock()
+	for _, inst := range order {
+		switch m := inst.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				m.name, m.help, m.name, m.name, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				m.name, m.help, m.name, m.name, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, b := range m.bounds {
+				cum += m.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.buckets[len(m.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, cum, m.name, formatFloat(m.Sum()), m.name, m.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot flattens every instrument into a name→value map: counters
+// and gauges under their own name, histograms as name_count, name_sum,
+// and cumulative name_bucket{le="..."} entries.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	order := append([]any(nil), r.order...)
+	r.mu.Unlock()
+	out := make(map[string]float64, len(order))
+	for _, inst := range order {
+		switch m := inst.(type) {
+		case *Counter:
+			out[m.name] = float64(m.Value())
+		case *Gauge:
+			out[m.name] = float64(m.Value())
+		case *Histogram:
+			cum := int64(0)
+			for i, b := range m.bounds {
+				cum += m.buckets[i].Load()
+				out[fmt.Sprintf("%s_bucket{le=%q}", m.name, formatFloat(b))] = float64(cum)
+			}
+			out[m.name+"_count"] = float64(m.Count())
+			out[m.name+"_sum"] = m.Sum()
+		}
+	}
+	return out
+}

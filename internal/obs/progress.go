@@ -1,0 +1,99 @@
+package obs
+
+// Live run progress: which pipeline phase is executing, how many
+// phase-3 chains have been discharged, and a naive ETA extrapolated
+// from per-chain throughput so far. The debug endpoint serves
+// Snapshot() as JSON; chain completion is monotonic by construction
+// (Done only increments).
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress tracks one run's live state. Safe for concurrent use; a nil
+// *Progress is a valid no-op sink.
+type Progress struct {
+	mu          sync.Mutex
+	phase       string
+	phaseStart  time.Time
+	start       time.Time
+	chainsTotal int64
+	chainsDone  int64
+}
+
+// NewProgress returns a progress tracker whose clock starts now.
+func NewProgress() *Progress {
+	now := time.Now()
+	return &Progress{phase: "idle", start: now, phaseStart: now}
+}
+
+// SetPhase records the currently executing pipeline phase.
+func (p *Progress) SetPhase(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = phase
+	p.phaseStart = time.Now()
+	p.mu.Unlock()
+}
+
+// SetChains records the phase-3 chain total (known once enumeration
+// finishes) and resets the done count for the discharge phase.
+func (p *Progress) SetChains(total int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.chainsTotal = total
+	p.chainsDone = 0
+	p.mu.Unlock()
+}
+
+// ChainDone records one discharged chain. Strictly monotonic.
+func (p *Progress) ChainDone() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.chainsDone++
+	p.mu.Unlock()
+}
+
+// Snapshot is one consistent view of the run's progress.
+type Snapshot struct {
+	Phase       string `json:"phase"`
+	ChainsDone  int64  `json:"chains_done"`
+	ChainsTotal int64  `json:"chains_total"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+	// PhaseElapsedMS is the time spent in the current phase.
+	PhaseElapsedMS int64 `json:"phase_elapsed_ms"`
+	// ETAMS extrapolates the remaining discharge time from per-chain
+	// throughput so far; -1 when unknown (no chain finished yet, or the
+	// run is not in a chain-discharging phase).
+	ETAMS int64 `json:"eta_ms"`
+}
+
+// Snapshot returns the current progress.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{Phase: "idle", ETAMS: -1}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	s := Snapshot{
+		Phase:          p.phase,
+		ChainsDone:     p.chainsDone,
+		ChainsTotal:    p.chainsTotal,
+		ElapsedMS:      now.Sub(p.start).Milliseconds(),
+		PhaseElapsedMS: now.Sub(p.phaseStart).Milliseconds(),
+		ETAMS:          -1,
+	}
+	if p.chainsDone > 0 && p.chainsTotal >= p.chainsDone {
+		perChain := now.Sub(p.phaseStart) / time.Duration(p.chainsDone)
+		s.ETAMS = (perChain * time.Duration(p.chainsTotal-p.chainsDone)).Milliseconds()
+	}
+	return s
+}

@@ -34,4 +34,20 @@ go test -race ./internal/core/... ./internal/solver/... ./internal/smt/...
 echo "== go test -bench (1x smoke)"
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+# Observability smoke: run a real workload with every telemetry artifact
+# enabled, then validate the Chrome trace, span JSONL, and Prometheus
+# dump structurally. Guards the exporters end to end (the report itself
+# is covered by the test suite above).
+echo "== trace smoke (weseer run -trace-out/-events-out/-metrics-out)"
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/weseer run -app shopizer -parallel 4 \
+    -trace-out "$obsdir/run.trace.json" \
+    -events-out "$obsdir/run.spans.jsonl" \
+    -metrics-out "$obsdir/run.prom" >/dev/null
+go run ./internal/obs/obstest/validatecmd \
+    -trace "$obsdir/run.trace.json" \
+    -events "$obsdir/run.spans.jsonl" \
+    -metrics "$obsdir/run.prom"
+
 echo "verify: OK"

@@ -24,6 +24,10 @@
 //   - Analysis: AnalyzeContext — the three-phase deadlock diagnosis,
 //     with context cancellation, parallel solving, and functional
 //     options (WithParallelism, WithPrescreen, WithSolverLimits, ...).
+//   - Observability: NewObserver, WithObserver, StartDebugServer —
+//     spans, metrics, and live progress for a diagnosis run, all
+//     observational (reports stay byte-identical with an observer
+//     attached).
 //
 // See examples/quickstart for an end-to-end walkthrough.
 package weseer
@@ -35,6 +39,7 @@ import (
 	"weseer/internal/concolic"
 	"weseer/internal/core"
 	"weseer/internal/minidb"
+	"weseer/internal/obs"
 	"weseer/internal/orm"
 	"weseer/internal/schema"
 	"weseer/internal/solver"
@@ -182,7 +187,31 @@ var (
 	WithoutLockFilter = core.WithoutLockFilter
 	// WithoutMemo disables solver-call memoization (ablation).
 	WithoutMemo = core.WithoutMemo
+	// WithObserver attaches an observability sink to the analysis.
+	WithObserver = core.WithObserver
 )
+
+// Observability layer.
+type (
+	// Observer bundles a run's telemetry sinks: span tracer, metrics
+	// registry, and live progress.
+	Observer = obs.Observer
+	// DebugServer serves an observer's live state over HTTP (/metrics,
+	// /progress, /debug/pprof).
+	DebugServer = obs.DebugServer
+)
+
+// NewObserver returns an observer with all sinks wired. Attach it to an
+// analysis with WithObserver (and to an Engine with
+// concolic.WithObserver for extraction spans); telemetry is
+// observational only.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// StartDebugServer serves o's metrics, progress, and pprof on addr
+// until Close.
+func StartDebugServer(addr string, o *Observer) (*DebugServer, error) {
+	return obs.StartDebugServer(addr, o)
+}
 
 // NewAnalyzer returns a deadlock analyzer for a schema, configured by
 // functional options.
