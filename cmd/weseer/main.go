@@ -8,7 +8,7 @@
 //	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
 //	weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
 //	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [observability flags]
-//	weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]
+//	weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
 //
 // Observability flags ("run" and "analyze"): -debug-addr ADDR serves
 // /metrics (Prometheus text), /progress (phase, chains done/total,
@@ -35,8 +35,11 @@
 // "vet" runs the static analyzers alone — no trace collection, no
 // solver: the template-level deadlock pre-screen and the Go-source
 // ORM-misuse lint over the given directories (default: the app's
-// source directory). Exit status: 0 clean, 1 findings at or above
-// -fail-on, 2 usage error.
+// source directory). -canonical-order additionally merges every vetted
+// directory's templates into one lock-order graph and reports the
+// canonical global acquisition order plus ranked feedback-edge reorder
+// suggestions (the paper's f9–f11-style fixes). Exit status: 0 clean,
+// 1 findings at or above -fail-on, 2 usage error.
 package main
 
 import (
@@ -94,7 +97,7 @@ func usage() {
   weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
   weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
   weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [obs flags]
-  weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [dir ...]
+  weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
 
 observability flags (run/analyze): -debug-addr :6060  -trace-out run.trace.json
   -events-out run.events.jsonl  -metrics-out run.metrics.prom`)
@@ -405,6 +408,7 @@ func cmdVet(args []string) error {
 	appName := fs.String("app", "none", "schema to attach (broadleaf|shopizer|none)")
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON report instead of text")
 	failOn := fs.String("fail-on", "error", "exit 1 when findings reach this severity (info|warn|error)")
+	canonical := fs.Bool("canonical-order", false, "derive the cross-API canonical lock order over every vetted directory and report ranked reorder suggestions")
 	fs.Parse(args)
 
 	threshold, err := staticlint.ParseSeverity(*failOn)
@@ -433,17 +437,31 @@ func cmdVet(args []string) error {
 	}
 
 	var findings []staticlint.Finding
+	var shapes []staticlint.TxnShape
 	for _, dir := range dirs {
 		fnd, err := staticlint.Vet(dir, scm)
 		if err != nil {
 			return err
 		}
 		findings = append(findings, fnd...)
+		if *canonical {
+			sh, err := staticlint.DirShapes(dir, scm)
+			if err != nil {
+				return err
+			}
+			shapes = append(shapes, sh...)
+		}
 	}
 	staticlint.Sort(findings)
+	// The canonical order merges every vetted directory's templates into
+	// one graph, so cross-package (cross-app) disagreements surface too.
+	var co *staticlint.CanonicalOrder
+	if *canonical {
+		co = staticlint.CanonicalizeShapes(shapes, scm)
+	}
 
 	if *jsonOut {
-		data, err := staticlint.EncodeJSON(findings)
+		data, err := staticlint.EncodeReport(findings, co)
 		if err != nil {
 			return err
 		}
@@ -453,6 +471,9 @@ func cmdVet(args []string) error {
 			fmt.Println(f.String())
 		}
 		fmt.Printf("%d finding(s)\n", len(findings))
+		if co != nil {
+			fmt.Print(co.Render())
+		}
 	}
 	if max, ok := staticlint.MaxSeverity(findings); ok && max >= threshold {
 		os.Exit(1)
@@ -466,6 +487,10 @@ type jsonReport struct {
 	Version int           `json:"version"`
 	Stats   jsonStats     `json:"stats"`
 	Reports []jsonDeadlck `json:"deadlocks"`
+	// Canonical carries the cross-API lock-order canonicalization —
+	// the global acquisition order and the ranked reorder suggestions —
+	// when the run enabled -prescreen; absent otherwise.
+	Canonical *staticlint.CanonicalOrder `json:"canonical_order,omitempty"`
 }
 
 type jsonStats struct {
@@ -536,7 +561,7 @@ func statsJSON(s core.Stats) jsonStats {
 }
 
 func printJSON(res *core.Result, classify func(*core.Deadlock) string) error {
-	rep := jsonReport{Version: 1, Stats: statsJSON(res.Stats), Reports: []jsonDeadlck{}}
+	rep := jsonReport{Version: 1, Stats: statsJSON(res.Stats), Reports: []jsonDeadlck{}, Canonical: res.CanonicalOrder}
 	for _, d := range res.Deadlocks {
 		rep.Reports = append(rep.Reports, jsonDeadlck{
 			Catalog: classify(d),
@@ -555,6 +580,9 @@ func printJSON(res *core.Result, classify func(*core.Deadlock) string) error {
 
 func printReport(res *core.Result, classify func(*core.Deadlock) string, verbose bool) {
 	fmt.Println(res.Stats.Render())
+	if s := core.RenderSuggestions(res.CanonicalOrder); s != "" {
+		fmt.Print(s)
+	}
 	counts := map[string][]*core.Deadlock{}
 	for _, d := range res.Deadlocks {
 		id := classify(d)

@@ -149,6 +149,17 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 			txns:  map[*trace.Txn]staticlint.TxnShape{},
 			stmts: map[*trace.Stmt]staticlint.StmtShape{},
 		}
+		// Cross-API lock-order canonicalization over the whole workload:
+		// every transaction instance is one voting template. Serial and
+		// input-order driven, so the result — like the rest of the report
+		// — is byte-identical at any parallelism.
+		var shapes []staticlint.TxnShape
+		for _, tr := range traces {
+			for _, txn := range tr.Txns {
+				shapes = append(shapes, staticlint.ShapeFromTxn(tr.API, txn))
+			}
+		}
+		res.CanonicalOrder = staticlint.CanonicalizeShapes(shapes, a.scm)
 	}
 
 	// Stages 1–2 (serial): pair filtering and coarse-cycle enumeration,

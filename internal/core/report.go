@@ -8,6 +8,7 @@ import (
 
 	"weseer/internal/smt"
 	"weseer/internal/solver"
+	"weseer/internal/staticlint"
 	"weseer/internal/trace"
 )
 
@@ -22,6 +23,13 @@ import (
 type Result struct {
 	Deadlocks []*Deadlock
 	Stats     Stats
+	// CanonicalOrder is the cross-API lock-order canonicalization over
+	// the run's transaction shapes (nil unless StaticPrescreen): the
+	// global acquisition order plus the ranked feedback-edge reorder
+	// suggestions — the f9–f11-style fixes that kill whole inversion
+	// families at once. Computed serially during Phase 0, so it is
+	// deterministic at any parallelism.
+	CanonicalOrder *staticlint.CanonicalOrder
 	// Metrics is the observer's flattened metrics snapshot taken when the
 	// run finished (nil without WithObserver): the same counters /metrics
 	// serves, frozen into the report so a run's telemetry travels with
@@ -88,8 +96,32 @@ func (r *Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "WeSEER deadlock report: %d potential deadlock(s)\n", len(r.Deadlocks))
 	fmt.Fprintf(&b, "%s\n", r.Stats.Render())
+	b.WriteString(RenderSuggestions(r.CanonicalOrder))
 	for i, d := range r.Deadlocks {
 		fmt.Fprintf(&b, "\n=== Deadlock %d ===\n%s", i+1, d.Render())
+	}
+	return b.String()
+}
+
+// RenderSuggestions formats the canonical order's ranked reorder
+// suggestions for the text report ("" when there are none or co is nil).
+func RenderSuggestions(co *staticlint.CanonicalOrder) string {
+	if co == nil || len(co.Suggestions) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranked lock-order fixes (canonical order over %d templates, %d conflicting edge(s)):\n",
+		co.Templates, len(co.Suggestions))
+	for _, s := range co.Suggestions {
+		fmt.Fprintf(&b, "  #%d acquire %s before %s (%d violating vs %d supporting template(s))\n",
+			s.Rank, s.To, s.From, s.Violators, s.Supporters)
+		for _, v := range s.Sites {
+			site := "(template)"
+			if v.File != "" {
+				site = fmt.Sprintf("%s:%d", v.File, v.Line)
+			}
+			fmt.Fprintf(&b, "      reorder %s at %s\n", v.API, site)
+		}
 	}
 	return b.String()
 }

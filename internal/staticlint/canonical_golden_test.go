@@ -1,0 +1,130 @@
+package staticlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/schema"
+	"weseer/internal/staticlint"
+)
+
+// appShapes extracts the vet transaction shapes of one model app, the
+// way `weseer vet -canonical-order` does.
+func appShapes(t *testing.T, dir string, scm *schema.Schema) []staticlint.TxnShape {
+	t.Helper()
+	shapes, err := staticlint.DirShapes(dir, scm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) == 0 {
+		t.Fatalf("no transaction shapes under %s", dir)
+	}
+	return shapes
+}
+
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("output differs from %s (re-run with -update):\ngot:\n%swant:\n%s", golden, got, want)
+	}
+}
+
+// TestCanonicalOrderGolden locks the exact `weseer vet -canonical-order`
+// output — canonical order, ranked suggestions, source sites — on both
+// model applications, in both the text and the -json rendering.
+func TestCanonicalOrderGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dir  string
+		scm  *schema.Schema
+	}{
+		{"broadleaf", "../apps/broadleaf", broadleaf.Schema()},
+		{"shopizer", "../apps/shopizer", shopizer.Schema()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			shapes := appShapes(t, tc.dir, tc.scm)
+			co := staticlint.CanonicalizeShapes(shapes, tc.scm)
+			if len(co.Suggestions) == 0 {
+				t.Errorf("%s: expected at least one reorder suggestion", tc.name)
+			}
+			checkGolden(t, filepath.Join("testdata", "golden", "canonical_"+tc.name+".txt"),
+				[]byte(co.Render()))
+
+			fs, err := staticlint.Vet(tc.dir, tc.scm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := staticlint.EncodeReport(fs, co)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, filepath.Join("testdata", "golden", "canonical_"+tc.name+".json"), data)
+
+			// The -json envelope must round-trip the canonical order.
+			backFs, backCo, err := staticlint.DecodeReport(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(backFs) != len(fs) || backCo == nil || len(backCo.Suggestions) != len(co.Suggestions) {
+				t.Fatalf("report round-trip lost data: %d/%d findings, co=%v", len(backFs), len(fs), backCo)
+			}
+		})
+	}
+}
+
+// TestVetDeterministic is the nondeterminism regression gate: the whole
+// linter output — findings and canonical order, text and JSON — must be
+// byte-identical across 20 repeated runs. Any map-ranged emission in
+// the analyzers shows up here as a diff.
+func TestVetDeterministic(t *testing.T) {
+	type out struct {
+		text string
+		data string
+	}
+	one := func() out {
+		var text, data []byte
+		for _, tc := range []struct {
+			dir string
+			scm *schema.Schema
+		}{
+			{"../apps/broadleaf", broadleaf.Schema()},
+			{"../apps/shopizer", shopizer.Schema()},
+		} {
+			fs, err := staticlint.Vet(tc.dir, tc.scm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co := staticlint.CanonicalizeShapes(appShapes(t, tc.dir, tc.scm), tc.scm)
+			text = append(text, render(fs)...)
+			text = append(text, co.Render()...)
+			enc, err := staticlint.EncodeReport(fs, co)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = append(data, enc...)
+		}
+		return out{string(text), string(data)}
+	}
+	first := one()
+	for run := 1; run < 20; run++ {
+		if got := one(); got != first {
+			t.Fatalf("run %d produced different output than run 0", run)
+		}
+	}
+}

@@ -118,7 +118,9 @@ func (f Finding) String() string {
 }
 
 // Sort orders findings deterministically: file, line, kind, table,
-// detail. Template findings (no file) sort after source findings.
+// detail, func — a total order over every emitted field, so the report
+// never depends on emission (or map-iteration) order. Template findings
+// (no file) sort after source findings.
 func Sort(fs []Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -137,7 +139,10 @@ func Sort(fs []Finding) {
 		if a.Table != b.Table {
 			return a.Table < b.Table
 		}
-		return a.Detail < b.Detail
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.Func < b.Func
 	})
 }
 
@@ -165,24 +170,41 @@ const JSONVersion = 1
 type reportJSON struct {
 	Version  int       `json:"version"`
 	Findings []Finding `json:"findings"`
+	// Canonical carries the cross-API lock-order canonicalization when
+	// `weseer vet -canonical-order` requested it; absent otherwise, so
+	// version-1 reports stay backward compatible.
+	Canonical *CanonicalOrder `json:"canonical_order,omitempty"`
 }
 
 // EncodeJSON renders findings as the versioned vet report.
 func EncodeJSON(fs []Finding) ([]byte, error) {
+	return EncodeReport(fs, nil)
+}
+
+// EncodeReport renders the versioned vet report, optionally carrying the
+// canonical lock-order section (-canonical-order).
+func EncodeReport(fs []Finding, co *CanonicalOrder) ([]byte, error) {
 	if fs == nil {
 		fs = []Finding{}
 	}
-	return json.MarshalIndent(reportJSON{Version: JSONVersion, Findings: fs}, "", "  ")
+	return json.MarshalIndent(reportJSON{Version: JSONVersion, Findings: fs, Canonical: co}, "", "  ")
 }
 
 // DecodeJSON parses a vet report, checking the version field.
 func DecodeJSON(data []byte) ([]Finding, error) {
+	fs, _, err := DecodeReport(data)
+	return fs, err
+}
+
+// DecodeReport parses a vet report including the optional canonical
+// lock-order section (nil when the report has none).
+func DecodeReport(data []byte) ([]Finding, *CanonicalOrder, error) {
 	var r reportJSON
 	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("staticlint: bad report: %w", err)
+		return nil, nil, fmt.Errorf("staticlint: bad report: %w", err)
 	}
 	if r.Version != JSONVersion {
-		return nil, fmt.Errorf("staticlint: report version %d, want %d", r.Version, JSONVersion)
+		return nil, nil, fmt.Errorf("staticlint: report version %d, want %d", r.Version, JSONVersion)
 	}
-	return r.Findings, nil
+	return r.Findings, r.Canonical, nil
 }

@@ -185,3 +185,15 @@ func Vet(dir string, scm *schema.Schema) ([]Finding, error) {
 	Sort(out)
 	return out, nil
 }
+
+// DirShapes extracts Analyzer 1's transaction shapes from the package in
+// dir — the per-API statement templates lock-order canonicalization
+// merges. scm may be nil (Find/Set synthesis is skipped without
+// primary-key columns).
+func DirShapes(dir string, scm *schema.Schema) ([]TxnShape, error) {
+	p, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return p.Shapes(scm), nil
+}

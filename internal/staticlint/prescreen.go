@@ -2,6 +2,7 @@ package staticlint
 
 import (
 	"fmt"
+	"sort"
 
 	"weseer/internal/lockmodel"
 	"weseer/internal/schema"
@@ -248,9 +249,12 @@ func PrescreenTxns(shapes []TxnShape, scm *schema.Schema) []Finding {
 			out = append(out, gapEscalationFindings(sh, scm)...)
 		}
 	}
+	// The cross-API canonical order lets each inversion cite the global
+	// reorder that fixes its whole family instead of a bare pair report.
+	co := CanonicalizeShapes(shapes, scm)
 	for i := range shapes {
 		for j := i + 1; j < len(shapes); j++ {
-			out = append(out, inversionFindings(shapes[i], shapes[j])...)
+			out = append(out, inversionFindings(shapes[i], shapes[j], co)...)
 		}
 	}
 	Sort(out)
@@ -287,8 +291,10 @@ func upgradeFindings(sh TxnShape) []Finding {
 }
 
 // inversionFindings flags opposite write orders between two transaction
-// shapes: t1 writes A before B while t2 writes B before A.
-func inversionFindings(t1, t2 TxnShape) []Finding {
+// shapes: t1 writes A before B while t2 writes B before A. When the
+// cross-API canonical order resolves the pair, the finding cites the
+// ranked reorder suggestion instead of leaving a bare inversion.
+func inversionFindings(t1, t2 TxnShape, co *CanonicalOrder) []Finding {
 	order := func(sh TxnShape) map[string]int {
 		m := map[string]int{}
 		for _, a := range accessesOf(sh) {
@@ -301,9 +307,15 @@ func inversionFindings(t1, t2 TxnShape) []Finding {
 		return m
 	}
 	o1, o2 := order(t1), order(t2)
+	tables1 := make([]string, 0, len(o1))
+	for t := range o1 {
+		tables1 = append(tables1, t)
+	}
+	sort.Strings(tables1)
 	var out []Finding
-	for ta, p1a := range o1 {
-		for tb, p1b := range o1 {
+	for _, ta := range tables1 {
+		for _, tb := range tables1 {
+			p1a, p1b := o1[ta], o1[tb]
 			if ta >= tb || p1a >= p1b {
 				continue
 			}
@@ -313,10 +325,16 @@ func inversionFindings(t1, t2 TxnShape) []Finding {
 				continue
 			}
 			st := t1.Stmts[p1b]
+			detail := fmt.Sprintf("%s writes %s before %s but %s writes them in the opposite order", t1.API, ta, tb, t2.API)
+			na := OrderNode{Table: ta}.Key()
+			nb := OrderNode{Table: tb}.Key()
+			if s := co.SuggestionFor(na, nb); s != nil {
+				detail += fmt.Sprintf("; canonical order acquires %s before %s (reorder suggestion #%d)", s.To, s.From, s.Rank)
+			}
 			out = append(out, Finding{
 				Analyzer: "prescreen", Kind: KindLockOrderInversion, Severity: SevWarn,
 				File: st.File, Line: st.Line, Func: t1.API + "/" + t2.API, Table: ta + "," + tb,
-				Detail: fmt.Sprintf("%s writes %s before %s but %s writes them in the opposite order", t1.API, ta, tb, t2.API),
+				Detail: detail,
 			})
 		}
 	}

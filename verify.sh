@@ -22,6 +22,20 @@ fi
 echo "== go test ./..."
 go test ./...
 
+# Coverage floor for the static-analysis and pipeline cores. The floor
+# (default 80, override with WESEER_COV_FLOOR=NN) is enforced on
+# internal/staticlint — the canonicalization and prescreen logic whose
+# soundness the property suite pins; internal/core is measured and
+# reported alongside for visibility.
+echo "== go test -cover (staticlint floor ${WESEER_COV_FLOOR:-80}%)"
+cov=$(go test -cover ./internal/staticlint ./internal/core | tee /dev/stderr |
+    awk '/internal\/staticlint/ { for (i = 1; i <= NF; i++) if ($i ~ /%$/) print $i }')
+echo "${cov:-0%}" | awk -v floor="${WESEER_COV_FLOOR:-80}" '
+    { sub(/%/, ""); if ($1 + 0 < floor + 0) {
+        printf "coverage: internal/staticlint %s%% is below the %s%% floor\n", $1, floor
+        exit 1
+    } }'
+
 # The parallel discharge pipeline (worker pool + memo singleflight +
 # cancellation) is the concurrency-bearing code; run it under the race
 # detector. Scoped to the packages that actually spawn goroutines to
