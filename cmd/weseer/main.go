@@ -409,7 +409,10 @@ func cmdVet(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON report instead of text")
 	failOn := fs.String("fail-on", "error", "exit 1 when findings reach this severity (info|warn|error)")
 	canonical := fs.Bool("canonical-order", false, "derive the cross-API canonical lock order over every vetted directory and report ranked reorder suggestions")
+	callgraph := fs.Bool("callgraph", true, "whole-program analysis: type-check the directory tree and propagate transitive callee summaries (off = per-package name heuristic)")
+	devirt := fs.Bool("devirt", true, "with -callgraph, devirtualize interface call sites by class-hierarchy analysis (off for ablation)")
 	fs.Parse(args)
+	opt := staticlint.VetOptions{CallGraph: *callgraph, Devirt: *devirt}
 
 	threshold, err := staticlint.ParseSeverity(*failOn)
 	if err != nil {
@@ -439,13 +442,13 @@ func cmdVet(args []string) error {
 	var findings []staticlint.Finding
 	var shapes []staticlint.TxnShape
 	for _, dir := range dirs {
-		fnd, err := staticlint.Vet(dir, scm)
+		fnd, err := staticlint.VetDir(dir, scm, opt)
 		if err != nil {
 			return err
 		}
 		findings = append(findings, fnd...)
 		if *canonical {
-			sh, err := staticlint.DirShapes(dir, scm)
+			sh, err := staticlint.DirShapesOpt(dir, scm, opt)
 			if err != nil {
 				return err
 			}

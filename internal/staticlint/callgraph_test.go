@@ -1,0 +1,327 @@
+package staticlint
+
+// Internal tests for the whole-program layer: loader behaviour, typed
+// and CHA callee resolution, transitive summaries over the SCC
+// condensation, and — the PR's acceptance pin — the precision delta
+// against the old per-package receiver-name heuristic.
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const wholeprogDir = "testdata/src/wholeprog"
+
+func scanCorpus(t *testing.T, dir string, opt VetOptions) *pkgScan {
+	t.Helper()
+	ps, err := scanAny(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func factsOf(t *testing.T, ps *pkgScan, name string) *fnFacts {
+	t.Helper()
+	for _, f := range ps.facts {
+		if f.name == name {
+			return f
+		}
+	}
+	t.Fatalf("no facts for function %q", name)
+	return nil
+}
+
+func locksOf(f *fnFacts) []event {
+	var out []event
+	for _, ev := range f.events {
+		if ev.kind == evLock {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestWholeProgramSequences asserts the resolved transitive event
+// sequences on the fixture corpus: the lock two hops away in another
+// package, the lock behind an interface, and the lock around a
+// recursive cycle all appear in the caller's events, with provenance
+// chains naming the path and the leaf acquisition site.
+func TestWholeProgramSequences(t *testing.T) {
+	ps := scanCorpus(t, wholeprogDir, DefaultVetOptions())
+	leaf := wholeprogDir + "/dao/dao.go"
+	for _, tc := range []struct {
+		fn       string
+		path     []string
+		leafLine int
+	}{
+		{"PriceAll", []string{"dao.LockProduct"}, 26},
+		{"ProcessAll", []string{"store.DBStore.Save", "dao.LockProduct"}, 26},
+		{"drainTree", []string{"dao.LockProduct"}, 26},
+		{"drainKids", []string{"drainTree", "dao.LockProduct"}, 26},
+	} {
+		t.Run(tc.fn, func(t *testing.T) {
+			f := factsOf(t, ps, tc.fn)
+			locks := locksOf(f)
+			if len(locks) != 1 {
+				t.Fatalf("%s: want exactly 1 lock event, got %d: %+v", tc.fn, len(locks), locks)
+			}
+			ev := locks[0]
+			if !ev.summary {
+				t.Errorf("%s: lock event not marked as summary-inferred", tc.fn)
+			}
+			if !reflect.DeepEqual(ev.path, tc.path) {
+				t.Errorf("%s: provenance path = %v, want %v", tc.fn, ev.path, tc.path)
+			}
+			if ev.leafFile != leaf || ev.leafLine != tc.leafLine {
+				t.Errorf("%s: leaf = %s:%d, want %s:%d", tc.fn, ev.leafFile, ev.leafLine, leaf, tc.leafLine)
+			}
+		})
+	}
+	// The inlined statement template carries the leaf file too, so
+	// canonical-order votes cite the real acquisition site.
+	f := factsOf(t, ps, "PriceAll")
+	if len(f.tmpls) != 1 || f.tmpls[0].kind != tmplSQL || f.tmpls[0].file != leaf {
+		t.Errorf("PriceAll templates = %+v, want one inlined SQL template from %s", f.tmpls, leaf)
+	}
+}
+
+// TestResolverDelta is the acceptance pin: it runs both resolvers over
+// the fixture corpus and asserts that whole-program analysis binds call
+// sites — cross-package, interface-dispatch, and from an
+// unnamed-receiver method — that the name-matching heuristic provably
+// left unresolved, and that only whole-program analysis sees the lock
+// reached around the recursive SCC.
+func TestResolverDelta(t *testing.T) {
+	cg := scanCorpus(t, wholeprogDir, DefaultVetOptions())
+
+	// The heuristic scan is per-package and non-recursive: run it over
+	// each fixture package the way the old Vet did.
+	heur := map[string][]string{}
+	var heurScans []*pkgScan
+	for _, sub := range []string{"dao", "handler", "store"} {
+		ps, err := scanDir(filepath.Join(wholeprogDir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heurScans = append(heurScans, ps)
+		for k, v := range ps.resolved {
+			heur[k] = append(heur[k], v...)
+		}
+	}
+
+	for _, tc := range []struct {
+		site   string
+		callee string
+		why    string
+	}{
+		{wholeprogDir + "/handler/handler.go:17", "dao.LockProduct", "cross-package call"},
+		{wholeprogDir + "/handler/handler.go:26", "store.DBStore.Save", "interface dispatch (CHA)"},
+		{wholeprogDir + "/store/store.go:28", "dao.LockProduct", "cross-package call from an unnamed-receiver method"},
+	} {
+		if _, ok := heur[tc.site]; ok {
+			t.Errorf("%s: heuristic unexpectedly resolved the site (%s)", tc.site, tc.why)
+		}
+		found := false
+		for _, name := range cg.resolved[tc.site] {
+			if name == tc.callee {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: call graph did not resolve %s (%s); got %v", tc.site, tc.callee, tc.why, cg.resolved[tc.site])
+		}
+	}
+
+	// Recursion: the heuristic binds drainKids -> drainTree (same
+	// package, plain call) but its one-level summary sees no session
+	// call in drainTree's body, so the lock is still missed; the
+	// fixed-point summary carries it around the cycle.
+	for _, ps := range heurScans {
+		for _, f := range ps.facts {
+			if f.name == "drainKids" && len(locksOf(f)) != 0 {
+				t.Errorf("heuristic drainKids unexpectedly saw a lock event")
+			}
+		}
+	}
+	if got := len(locksOf(factsOf(t, cg, "drainKids"))); got != 1 {
+		t.Errorf("whole-program drainKids lock events = %d, want 1", got)
+	}
+
+	// Finding-level delta: the heuristic reports no unordered-locks
+	// hazard anywhere in the corpus; whole-program analysis reports all
+	// three loops.
+	var heurFs []Finding
+	for _, sub := range []string{"dao", "handler", "store"} {
+		fs, err := VetDir(filepath.Join(wholeprogDir, sub), nil, VetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heurFs = append(heurFs, fs...)
+	}
+	for _, f := range heurFs {
+		if f.Kind == KindUnorderedLocks {
+			t.Errorf("heuristic unexpectedly found: %s", f)
+		}
+	}
+	cgFs, err := VetDir(wholeprogDir, nil, DefaultVetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []int{16, 25, 39} {
+		ok := false
+		for _, f := range cgFs {
+			if f.Kind == KindUnorderedLocks && f.Line == line {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("whole-program vet missing unordered-locks at handler.go:%d\nall:\n%v", line, cgFs)
+		}
+	}
+}
+
+// TestDevirtOff is the CHA ablation: without devirtualization the
+// interface call site resolves to nothing, so ProcessAll's loop loses
+// its lock while the direct cross-package path keeps its finding.
+func TestDevirtOff(t *testing.T) {
+	fs, err := VetDir(wholeprogDir, nil, VetOptions{CallGraph: true, Devirt: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Kind == KindUnorderedLocks && f.Line == 25 {
+			t.Errorf("devirt off, but interface-dispatch lock still inferred: %s", f)
+		}
+	}
+	found := false
+	for _, f := range fs {
+		if f.Kind == KindUnorderedLocks && f.Line == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("devirt off must not affect the direct cross-package path; findings:\n%v", fs)
+	}
+}
+
+// TestDiamondDedup pins satellite 2: two call paths to one acquisition
+// contribute one event and one template, keyed on the leaf site.
+func TestDiamondDedup(t *testing.T) {
+	ps := scanCorpus(t, "testdata/src/diamond", DefaultVetOptions())
+	top := factsOf(t, ps, "top")
+	locks := locksOf(top)
+	if len(locks) != 1 {
+		t.Fatalf("diamond top: want 1 lock event after dedup, got %d: %+v", len(locks), locks)
+	}
+	want := []string{"left", "lockShared"}
+	if !reflect.DeepEqual(locks[0].path, want) {
+		t.Errorf("diamond top: path = %v, want %v (first call path wins deterministically)", locks[0].path, want)
+	}
+	if len(top.tmpls) != 1 {
+		t.Errorf("diamond top: want 1 template after dedup, got %d: %+v", len(top.tmpls), top.tmpls)
+	}
+}
+
+// TestReceiverFix pins satellite 1 on the heuristic path itself:
+// a multi-name receiver list now binds through its first name (the
+// hazard in useMany is reported) and an unnamed-receiver method no
+// longer captures plain calls of the same name (freeCall stays clean).
+func TestReceiverFix(t *testing.T) {
+	ps, err := scanDir("testdata/src/recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := ps.Lint()
+	found := false
+	for _, f := range fs {
+		if f.Kind == KindUnorderedLocks && f.Func == "useMany" && f.Line == 29 {
+			found = true
+		}
+		if f.Func == "freeCall" {
+			t.Errorf("false positive on freeCall (plain call bound to an unnamed-receiver method): %s", f)
+		}
+	}
+	if !found {
+		t.Errorf("multi-name receiver method not resolved; findings:\n%v", fs)
+	}
+}
+
+// TestTxnBoundaryNotInlined: calls to functions that open their own
+// transaction (Begin/Transactional) are boundaries — the workload
+// drivers that invoke handler APIs in sequence must not merge every
+// handler's statements into one phantom transaction template.
+func TestTxnBoundaryNotInlined(t *testing.T) {
+	ps := scanCorpus(t, "../apps/shopizer", DefaultVetOptions())
+	for _, sh := range ps.Shapes(nil) {
+		if sh.API == "Flow" || sh.API == "UnitTests" {
+			t.Errorf("driver %s has a transaction shape (%d stmts): txn-opening callees must not inline", sh.API, len(sh.Stmts))
+		}
+	}
+	// The boundary events themselves are recorded for the opener.
+	checkout := factsOf(t, ps, "Checkout")
+	var kinds []eventKind
+	for _, ev := range checkout.events {
+		if ev.kind == evBegin || ev.kind == evCommit {
+			kinds = append(kinds, ev.kind)
+		}
+	}
+	if len(kinds) < 2 || kinds[0] != evBegin || kinds[len(kinds)-1] != evCommit {
+		t.Errorf("Checkout txn boundary events = %v, want evBegin ... evCommit", kinds)
+	}
+}
+
+// Loader edge cases.
+func TestLoadTreeErrors(t *testing.T) {
+	if _, err := loadTree("testdata/src/definitely-missing"); err == nil {
+		t.Error("loadTree on a missing directory must fail")
+	}
+	if _, err := loadTree("testdata/golden/f2.txt"); err == nil {
+		t.Error("loadTree on a file must fail")
+	}
+}
+
+func TestModulePath(t *testing.T) {
+	for in, want := range map[string]string{
+		"module wholeprog\n\ngo 1.22\n":     "wholeprog",
+		"// a comment\nmodule  foo/bar\n":   "foo/bar",
+		"module \"quoted/path\"\ngo 1.22\n": "quoted/path",
+		"go 1.22\n":                         "",
+	} {
+		if got := modulePath([]byte(in)); got != want {
+			t.Errorf("modulePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadTreeModuleDiscovery(t *testing.T) {
+	prog, err := loadTree(wholeprogDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.modPath != "wholeprog" {
+		t.Errorf("modPath = %q, want wholeprog (nearest go.mod wins)", prog.modPath)
+	}
+	if len(prog.targets) != 3 {
+		t.Errorf("targets = %d, want 3 (dao, handler, store)", len(prog.targets))
+	}
+	// The lint fixtures sit under the repo module: their import paths
+	// are derived from the repo go.mod, and stdlib imports ("sort" in
+	// the clean fixture) resolve to empty placeholder packages without
+	// failing the load.
+	prog2, err := loadTree("testdata/src/clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog2.modPath != "weseer" {
+		t.Errorf("clean fixture modPath = %q, want weseer", prog2.modPath)
+	}
+	if !strings.HasPrefix(prog2.targets[0].path, "weseer/") {
+		t.Errorf("clean fixture import path = %q, want weseer/... prefix", prog2.targets[0].path)
+	}
+	if dep, ok := prog2.deps["sort"]; !ok || dep == nil || dep.Scope().Len() != 0 {
+		t.Errorf("stdlib import must resolve to an empty placeholder, got %v", prog2.deps)
+	}
+}

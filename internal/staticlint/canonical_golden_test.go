@@ -48,6 +48,15 @@ func checkGolden(t *testing.T, golden string, got []byte) {
 // TestCanonicalOrderGolden locks the exact `weseer vet -canonical-order`
 // output — canonical order, ranked suggestions, source sites — on both
 // model applications, in both the text and the -json rendering.
+//
+// Golden delta vs PR 5: DirShapes now resolves callees whole-program,
+// so a handler's transaction template includes the statements of its
+// non-transaction-opening helpers, located at their real (leaf)
+// acquisition sites. Direction votes and reorder suggestions therefore
+// cite more sites per API than PR 5's one-level heuristic, while
+// workload drivers (Flow/UnitTests) contribute nothing: the handler
+// APIs they invoke open their own transactions and are treated as
+// boundaries, not inlined.
 func TestCanonicalOrderGolden(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -91,7 +100,9 @@ func TestCanonicalOrderGolden(t *testing.T) {
 // TestVetDeterministic is the nondeterminism regression gate: the whole
 // linter output — findings and canonical order, text and JSON — must be
 // byte-identical across 20 repeated runs. Any map-ranged emission in
-// the analyzers shows up here as a diff.
+// the analyzers shows up here as a diff. The whole-program path (CHA
+// candidate enumeration, SCC fixpoint, summary splicing) is covered by
+// the multi-package wholeprog corpus alongside the model apps.
 func TestVetDeterministic(t *testing.T) {
 	type out struct {
 		text string
@@ -105,6 +116,7 @@ func TestVetDeterministic(t *testing.T) {
 		}{
 			{"../apps/broadleaf", broadleaf.Schema()},
 			{"../apps/shopizer", shopizer.Schema()},
+			{filepath.Join("testdata", "src", "wholeprog"), nil},
 		} {
 			fs, err := staticlint.Vet(tc.dir, tc.scm)
 			if err != nil {

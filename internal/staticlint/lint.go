@@ -3,6 +3,7 @@ package staticlint
 import (
 	"fmt"
 	"go/token"
+	"strings"
 
 	"weseer/internal/schema"
 )
@@ -95,7 +96,7 @@ func (f *fnFacts) flushFindings() []Finding {
 		reported[ev.line] = true
 		tab := ev.entTab
 		out = append(out, f.finding(KindFlushReorder, SevWarn, ev.line, tab,
-			"buffered write slides past later session reads to the commit flush; flush before reading (or the lock order diverges from program order)"))
+			"buffered write slides past later session reads to the commit flush; flush before reading (or the lock order diverges from program order)"+provenance("write buffered", ev)))
 	}
 	// Linear pass: pending buffered writes are cleared by an
 	// unconditional Flush and reported at the first read that crosses
@@ -156,27 +157,79 @@ func (f *fnFacts) unorderedFindings() []Finding {
 	var out []Finding
 	for _, lp := range f.loops {
 		locks := false
+		via := ""
 		for _, ev := range f.events {
 			if ev.kind == evLock && ev.pos >= lp.body[0] && ev.pos < lp.body[1] {
 				locks = true
-				break
+				if via == "" {
+					via = provenance("lock taken", ev)
+				}
+				if via != "" {
+					break
+				}
 			}
 		}
 		if !locks {
 			continue
 		}
 		out = append(out, f.finding(KindUnorderedLocks, SevError, lp.line, "",
-			fmt.Sprintf("loop over %s takes row or mutex locks per element without a proven order; concurrent callers acquire in different orders and deadlock — sort the collection first", lp.rangeExpr)))
+			fmt.Sprintf("loop over %s takes row or mutex locks per element without a proven order; concurrent callers acquire in different orders and deadlock — sort the collection first%s", lp.rangeExpr, via)))
 	}
 	return out
 }
 
-// Vet runs both analyzers over the package in dir: Analyzer 2 on the
-// source and Analyzer 1 on the statement templates extracted from it.
-// scm may be nil (no schema → gap-escalation and synthesized point
-// statements are skipped).
+// provenance renders a whole-program summary event's call chain for a
+// finding detail: the old one-level heuristic leaves leafFile empty and
+// contributes nothing, so ablation output is unchanged.
+func provenance(what string, ev event) string {
+	if !ev.summary || len(ev.path) == 0 || ev.leafFile == "" {
+		return ""
+	}
+	return fmt.Sprintf("; %s via %s at %s:%d", what, strings.Join(ev.path, " -> "), ev.leafFile, ev.leafLine)
+}
+
+// VetOptions selects the callee-resolution strategy.
+type VetOptions struct {
+	// CallGraph enables whole-program analysis: type-check the full
+	// directory tree, resolve callees with go/types, and propagate
+	// transitive event summaries bottom-up over the SCC condensation.
+	// Off, the scan is the per-package one-level name heuristic.
+	CallGraph bool
+	// Devirt enables CHA devirtualization of interface call sites
+	// (only meaningful with CallGraph; off is the ablation where
+	// interface calls resolve to nothing).
+	Devirt bool
+}
+
+// DefaultVetOptions is what `weseer vet` runs with: whole-program
+// resolution with devirtualization.
+func DefaultVetOptions() VetOptions { return VetOptions{CallGraph: true, Devirt: true} }
+
+// scanAny scans dir under the selected resolution strategy, returning
+// function facts the lint and shape layers consume identically either
+// way.
+func scanAny(dir string, opt VetOptions) (*pkgScan, error) {
+	if !opt.CallGraph {
+		return scanDir(dir)
+	}
+	prog, err := loadTree(dir)
+	if err != nil {
+		return nil, err
+	}
+	return prog.scan(opt), nil
+}
+
+// Vet runs both analyzers over the package tree in dir with the default
+// whole-program resolution: Analyzer 2 on the source and Analyzer 1 on
+// the statement templates extracted from it. scm may be nil (no schema
+// → gap-escalation and synthesized point statements are skipped).
 func Vet(dir string, scm *schema.Schema) ([]Finding, error) {
-	p, err := scanDir(dir)
+	return VetDir(dir, scm, DefaultVetOptions())
+}
+
+// VetDir is Vet with an explicit resolution strategy.
+func VetDir(dir string, scm *schema.Schema, opt VetOptions) ([]Finding, error) {
+	p, err := scanAny(dir, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -186,12 +239,17 @@ func Vet(dir string, scm *schema.Schema) ([]Finding, error) {
 	return out, nil
 }
 
-// DirShapes extracts Analyzer 1's transaction shapes from the package in
-// dir — the per-API statement templates lock-order canonicalization
-// merges. scm may be nil (Find/Set synthesis is skipped without
-// primary-key columns).
+// DirShapes extracts Analyzer 1's transaction shapes from the package
+// tree in dir — the per-API statement templates lock-order
+// canonicalization merges. scm may be nil (Find/Set synthesis is
+// skipped without primary-key columns).
 func DirShapes(dir string, scm *schema.Schema) ([]TxnShape, error) {
-	p, err := scanDir(dir)
+	return DirShapesOpt(dir, scm, DefaultVetOptions())
+}
+
+// DirShapesOpt is DirShapes with an explicit resolution strategy.
+func DirShapesOpt(dir string, scm *schema.Schema, opt VetOptions) ([]TxnShape, error) {
+	p, err := scanAny(dir, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -26,8 +26,16 @@ func render(fs []staticlint.Finding) string {
 
 // TestFixturesGolden locks the exact findings on the anti-pattern
 // fixtures: each exhibits its class, the clean package reports nothing.
+//
+// Golden delta vs PR 5: Vet now defaults to whole-program resolution,
+// so the wholeprog/diamond/recv corpora report hazards whose lock sits
+// in a callee — their finding details carry "via <call chain> at
+// <leaf site>" provenance. The single-package f2/f4/f9/clean goldens
+// are byte-identical to PR 5: their callees never resolve (the
+// fixtures deliberately don't type-check and have no matching local
+// declarations), so richer resolution changes nothing there.
 func TestFixturesGolden(t *testing.T) {
-	for _, name := range []string{"f2", "f4", "f9", "clean"} {
+	for _, name := range []string{"f2", "f4", "f9", "clean", "wholeprog", "diamond", "recv"} {
 		t.Run(name, func(t *testing.T) {
 			fs, err := staticlint.Vet(filepath.Join("testdata", "src", name), nil)
 			if err != nil {

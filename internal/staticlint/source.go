@@ -45,10 +45,12 @@ type funcSummary struct {
 type eventKind uint8
 
 const (
-	evWrite eventKind = iota // buffered Set on a pre-existing entity
-	evRead                   // session read: Query/Find/Lazy or a reading callee
-	evFlush                  // explicit Flush
-	evLock                   // lock-taking op: Query/Find/Exec/Lazy/.Lock() or callee
+	evWrite  eventKind = iota // buffered Set on a pre-existing entity
+	evRead                    // session read: Query/Find/Lazy or a reading callee
+	evFlush                   // explicit Flush
+	evLock                    // lock-taking op: Query/Find/Exec/Lazy/.Lock() or callee
+	evBegin                   // txn boundary: Begin or Transactional entry
+	evCommit                  // txn boundary: Commit or Transactional exit
 )
 
 type event struct {
@@ -59,6 +61,12 @@ type event struct {
 	entTab  string // evWrite: entity's table, "" if unresolved
 	col     string // evWrite: written column
 	summary bool   // event inferred from a callee summary
+
+	// Provenance for whole-program (callgraph) summaries: where the
+	// event really happens and the call chain that reaches it.
+	leafFile string
+	leafLine int
+	path     []string // e.g. ["priceProducts", "dao.LockProduct"]
 }
 
 // Template fragments extracted for Analyzer 1. Finds and Sets need the
@@ -80,6 +88,25 @@ type tmpl struct {
 	sql        string // tmplSQL
 	table, col string // tmplFind / tmplSet
 	slid       bool   // tmplSet: a session read follows the trigger, pre-flush
+
+	// Set for templates inlined from a callee summary: the file the
+	// template really lives in (line above is then the leaf line too)
+	// and the call chain that reaches it.
+	file string
+	path []string
+}
+
+// callSite is an unresolved non-session call recorded during
+// interpretation when the scan runs in whole-program mode; the call
+// graph layer resolves it with go/types and splices the callee's
+// transitive summary back in at pos.
+type callSite struct {
+	call     *ast.CallExpr
+	pos      token.Pos
+	line     int
+	name     string
+	isMethod bool
+	inCond   bool // site is inside a conditional/loop body
 }
 
 type loopInfo struct {
@@ -109,6 +136,7 @@ type fnFacts struct {
 	merges   []event // Merge call sites
 	persists []event // Persist call sites
 	queried  map[string]bool
+	calls    []callSite // deferred non-session calls (whole-program mode)
 }
 
 type pkgScan struct {
@@ -116,8 +144,18 @@ type pkgScan struct {
 	dir   string
 	decls []*ast.FuncDecl
 	sums  map[string]funcSummary
-	recvs map[string]string // func name -> declared receiver ident ("" = plain func)
+	recvs map[string]string // func name -> declared receiver ident ("" = unnamed or plain func)
+	meths map[string]bool   // func name -> declared with a receiver
 	facts []*fnFacts
+
+	// deferCalls switches interpret from one-level heuristic callee
+	// resolution to recording callSites for the call-graph layer.
+	deferCalls bool
+
+	// resolved records, per "file:line" call site, the display names of
+	// the callees the active resolver bound it to (both resolvers fill
+	// it; the precision-delta test diffs the two).
+	resolved map[string][]string
 }
 
 // scanDir parses every non-test .go file in dir (stdlib go/parser only)
@@ -127,7 +165,7 @@ func scanDir(dir string) (*pkgScan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &pkgScan{fset: token.NewFileSet(), dir: dir, sums: map[string]funcSummary{}, recvs: map[string]string{}}
+	p := newPkgScan(token.NewFileSet(), dir)
 	for _, ent := range ents {
 		name := ent.Name()
 		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -150,11 +188,8 @@ func scanDir(dir string) (*pkgScan, error) {
 		if sessionMethods[name] {
 			continue
 		}
-		recv := ""
-		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-			recv = fd.Recv.List[0].Names[0].Name
-		}
-		p.recvs[name] = recv
+		p.recvs[name] = recvIdent(fd)
+		p.meths[name] = fd.Recv != nil
 		sum := funcSummary{}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -173,6 +208,57 @@ func scanDir(dir string) (*pkgScan, error) {
 		p.facts = append(p.facts, p.interpret(fd))
 	}
 	return p, nil
+}
+
+func newPkgScan(fset *token.FileSet, dir string) *pkgScan {
+	return &pkgScan{
+		fset: fset, dir: dir,
+		sums:     map[string]funcSummary{},
+		recvs:    map[string]string{},
+		meths:    map[string]bool{},
+		resolved: map[string][]string{},
+	}
+}
+
+// recvIdent returns the first receiver ident of a method declaration.
+// Unnamed receivers (`func (Foo) M()`) and — illegal but parseable —
+// multi-name receiver lists (`func (a, b Foo) M()`) used to be dropped
+// entirely, hiding those bodies from summary resolution; now the
+// receiver list contributes its first name and "" only means the
+// receiver is genuinely unnamed (pkgScan.meths still records that the
+// declaration is a method).
+func recvIdent(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// recvTypeName returns the bare receiver type name (`Foo` for `*Foo`,
+// `Foo`, or `Foo[T]`), used for display names in provenance chains.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
 }
 
 // methodName returns the selector method name of a call (`x.M(...)`).
@@ -449,33 +535,72 @@ func (p *pkgScan) interpret(fd *ast.FuncDecl) *fnFacts {
 			addEvent(event{kind: evFlush, pos: at, line: line, uncond: !inCond(at)})
 		case m == "Lock":
 			addEvent(event{kind: evLock, pos: at, line: line})
+		case m == "Transactional" && isMethod:
+			// The closure body is interpreted inline (ast.Inspect walks
+			// it); the boundary events bracket everything inside.
+			addEvent(event{kind: evBegin, pos: at, line: line})
+			addEvent(event{kind: evCommit, pos: call.End(), line: p.fset.Position(call.End()).Line})
+		case m == "Begin" && isMethod:
+			addEvent(event{kind: evBegin, pos: at, line: line})
+		case m == "Commit" && isMethod:
+			addEvent(event{kind: evCommit, pos: at, line: line})
 		case m != "" && !sessionMethods[m]:
-			// One-level callee summary. A method call only resolves to a
-			// package-local method when the call's receiver ident matches
-			// the declared receiver name (a cheap stand-in for go/types:
-			// it separates `a.priceCart(...)` from `e.Add(...)`).
+			if p.deferCalls {
+				// Whole-program mode: the call-graph layer resolves the
+				// callee with go/types and splices its transitive
+				// summary in at this position.
+				facts.calls = append(facts.calls, callSite{
+					call: call, pos: at, line: line, name: m,
+					isMethod: isMethod, inCond: inCond(at),
+				})
+				break
+			}
+			// One-level callee summary (the -callgraph=false ablation
+			// path). A method call only resolves to a package-local
+			// method when the call's receiver ident matches the declared
+			// receiver name (a cheap stand-in for go/types: it separates
+			// `a.priceCart(...)` from `e.Add(...)`); a plain call only
+			// resolves to a plain function.
 			sum, ok := p.sums[m]
 			if ok && isMethod {
 				sel := call.Fun.(*ast.SelectorExpr)
-				ok = p.recvs[m] != "" && identName(sel.X) == p.recvs[m]
+				ok = p.meths[m] && p.recvs[m] != "" && identName(sel.X) == p.recvs[m]
 			} else if ok {
-				ok = p.recvs[m] == ""
+				ok = !p.meths[m]
 			}
 			if ok {
+				key := fmt.Sprintf("%s:%d", facts.file, line)
+				p.resolved[key] = append(p.resolved[key], m)
 				if sum.reads {
-					addEvent(event{kind: evRead, pos: at, line: line, summary: true})
+					addEvent(event{kind: evRead, pos: at, line: line, summary: true, path: []string{m}})
 				}
 				if sum.locks {
-					addEvent(event{kind: evLock, pos: at, line: line, summary: true})
+					addEvent(event{kind: evLock, pos: at, line: line, summary: true, path: []string{m}})
 				}
 			}
 		}
 	}
 
-	// A buffered Set "slides" when a session read follows its trigger
-	// site (directly, or around the loop it sits in) with no
-	// unconditional Flush in between; a Flush also re-anchors the
-	// statement's send position from commit back to the flush site.
+	// Transactional's evCommit lands at the call's End, after the
+	// closure body's events; restore global position order (stable, so
+	// same-position events keep their emission order).
+	sort.SliceStable(facts.events, func(i, j int) bool { return facts.events[i].pos < facts.events[j].pos })
+	if !p.deferCalls {
+		finalizeSends(facts)
+	}
+	facts.loopsSuppress(sorted)
+	return facts
+}
+
+// finalizeSends computes each template's send position and slid flag
+// from the completed event stream. A buffered Set "slides" when a
+// session read follows its trigger site (directly, or around the loop
+// it sits in) with no unconditional Flush in between; a Flush also
+// re-anchors the statement's send position from commit back to the
+// flush site. In whole-program mode this runs only after callee
+// summaries are spliced in, so inlined reads and flushes participate in
+// the reorder decision.
+func finalizeSends(facts *fnFacts) {
 	var flushes []token.Pos
 	for _, ev := range facts.events {
 		if ev.kind == evFlush && ev.uncond {
@@ -521,8 +646,6 @@ func (p *pkgScan) interpret(fd *ast.FuncDecl) *fnFacts {
 		}
 	}
 	sort.SliceStable(facts.tmpls, func(i, j int) bool { return facts.tmpls[i].sentPos < facts.tmpls[j].sentPos })
-	facts.loopsSuppress(sorted)
-	return facts
 }
 
 // loopsSuppress drops loops whose ranged collection was explicitly
@@ -599,21 +722,28 @@ func (p *pkgScan) Shapes(scm *schema.Schema) []TxnShape {
 	for _, f := range p.facts {
 		sh := TxnShape{API: f.name}
 		for _, t := range f.tmpls { // already in send order (sentPos)
+			// Templates inlined from a callee summary carry the leaf
+			// file, so lock-graph votes cite the real acquisition site
+			// (under the caller's API name).
+			file := t.file
+			if file == "" {
+				file = f.file
+			}
 			switch t.kind {
 			case tmplSQL:
 				st, err := sqlast.Parse(t.sql)
 				if err != nil {
 					continue
 				}
-				sh.Stmts = append(sh.Stmts, StmtShape{Stmt: st, File: f.file, Line: t.line})
+				sh.Stmts = append(sh.Stmts, StmtShape{Stmt: st, File: file, Line: t.line})
 			case tmplFind:
 				if sql, ok := pointSelect(scm, t.table); ok {
-					sh.Stmts = append(sh.Stmts, StmtShape{Stmt: sqlast.MustParse(sql), File: f.file, Line: t.line})
+					sh.Stmts = append(sh.Stmts, StmtShape{Stmt: sqlast.MustParse(sql), File: file, Line: t.line})
 				}
 			case tmplSet:
 				if sql, ok := bufferedUpdate(scm, t.table, t.col); ok {
 					sh.Stmts = append(sh.Stmts, StmtShape{
-						Stmt: sqlast.MustParse(sql), Deferred: t.slid, File: f.file, Line: t.line,
+						Stmt: sqlast.MustParse(sql), Deferred: t.slid, File: file, Line: t.line,
 					})
 				}
 			}

@@ -1,0 +1,21 @@
+// Package diamond pins summary-event dedup: top reaches lockShared's
+// single Exec through two call paths (left and right), and the one
+// acquisition must be counted once in top's events and templates.
+package diamond
+
+type session struct{}
+
+func (s *session) Exec(sql string, args ...any) {}
+
+func lockShared(s *session, id int64) {
+	s.Exec(`UPDATE Product SET POPULARITY = ? WHERE ID = ?`, id)
+}
+
+func left(s *session, id int64) { lockShared(s, id) }
+
+func right(s *session, id int64) { lockShared(s, id) }
+
+func top(s *session, id int64) {
+	left(s, id)
+	right(s, id)
+}

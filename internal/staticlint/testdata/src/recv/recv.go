@@ -1,0 +1,41 @@
+// Package recv is the regression fixture for receiver extraction:
+// unnamed receivers and multi-name receiver lists used to be dropped
+// from summary resolution entirely, which both hid their bodies from
+// method-call resolution and let a plain call wrongly bind to an
+// unnamed-receiver method of the same name.
+package recv
+
+type session struct{}
+
+func (s *session) Exec(sql string, args ...any) {}
+
+type box struct{}
+
+// lockOne's receiver is unnamed: the method must still register as a
+// method, so the plain call in freeCall below must NOT bind to it.
+func (box) lockOne(s *session, id int64) {
+	s.Exec(`UPDATE Product SET POPULARITY = ? WHERE ID = ?`, id)
+}
+
+// lockMany declares two receiver names — illegal Go, but parseable —
+// and the first name now binds for heuristic resolution.
+func (b, c box) lockMany(s *session, id int64) {
+	s.Exec(`UPDATE Offer SET USES = ? WHERE ID = ?`, id)
+}
+
+// useMany's loop locks through the multi-name-receiver method: the old
+// scan missed it, so the unordered-locks hazard went unreported.
+func useMany(b box, s *session, ids []int64) {
+	for _, id := range ids {
+		b.lockMany(s, id)
+	}
+}
+
+// freeCall must stay clean: there is no plain function lockOne, only
+// the unnamed-receiver method (the old scan bound the call and
+// reported a false positive here).
+func freeCall(s *session, ids []int64) {
+	for _, id := range ids {
+		lockOne(id)
+	}
+}

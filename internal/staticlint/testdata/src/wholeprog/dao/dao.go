@@ -1,0 +1,27 @@
+// Package dao wraps the ORM session for the wholeprog fixture corpus.
+// Unlike the single-package lint fixtures, this module type-checks, so
+// the whole-program scan resolves its callees with go/types instead of
+// the receiver-name heuristic.
+package dao
+
+// Session mimics the ORM session surface the analyzers model.
+type Session struct{}
+
+func (s *Session) Query(sql string, args ...any) []any { return nil }
+
+func (s *Session) Find(table string, id int64) any { return nil }
+
+func (s *Session) Exec(sql string, args ...any) {}
+
+func (s *Session) Set(ent any, col string, v any) {}
+
+func (s *Session) Persist(ent any) {}
+
+func (s *Session) Flush() error { return nil }
+
+// LockProduct takes the exclusive row lock on one product. Callers in
+// other packages reach this lock two hops down — invisible to the
+// per-package heuristic.
+func LockProduct(s *Session, id int64) {
+	s.Exec(`UPDATE Product SET POPULARITY = ? WHERE ID = ?`, id)
+}

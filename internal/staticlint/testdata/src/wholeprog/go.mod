@@ -1,0 +1,3 @@
+module wholeprog
+
+go 1.22

@@ -1,0 +1,42 @@
+// Package handler holds the request handlers whose lock behaviour only
+// whole-program analysis can see: the acquisitions happen in callees
+// across package boundaries, behind an interface, and through a
+// recursive cycle.
+package handler
+
+import (
+	"wholeprog/dao"
+	"wholeprog/store"
+)
+
+// PriceAll reprices every product in request order; the row lock is
+// taken one call down in another package (cross-package miss for the
+// name heuristic).
+func PriceAll(s *dao.Session, ids []int64) {
+	for _, id := range ids {
+		dao.LockProduct(s, id)
+	}
+}
+
+// ProcessAll persists through the Store interface; whether the loop
+// locks depends on the implementation behind it (interface-dispatch
+// miss — CHA finds DBStore.Save).
+func ProcessAll(s *dao.Session, st store.Store, ids []int64) {
+	for _, id := range ids {
+		st.Save(s, id)
+	}
+}
+
+// drainTree and drainKids form a recursive SCC: the lock in drainTree
+// is reachable from drainKids' loop only around the cycle (recursion
+// miss for the one-level heuristic).
+func drainTree(s *dao.Session, id int64, kids map[int64][]int64) {
+	dao.LockProduct(s, id)
+	drainKids(s, kids[id], kids)
+}
+
+func drainKids(s *dao.Session, ids []int64, kids map[int64][]int64) {
+	for _, id := range ids {
+		drainTree(s, id, kids)
+	}
+}

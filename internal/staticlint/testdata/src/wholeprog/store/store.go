@@ -1,0 +1,29 @@
+// Package store gives the handler layer an interface with one safe and
+// one locking implementation: whether a call through Store takes a
+// database lock is a devirtualization question.
+package store
+
+import "wholeprog/dao"
+
+// Store abstracts persistence for the handler layer.
+type Store interface {
+	Save(s *dao.Session, id int64)
+}
+
+// MemStore buffers rows in memory: no database locks.
+type MemStore struct {
+	rows map[int64]bool
+}
+
+func (m *MemStore) Save(s *dao.Session, id int64) {
+	m.rows[id] = true
+}
+
+// DBStore writes through: each Save locks the product row. The
+// receiver is deliberately unnamed — the pre-callgraph heuristic
+// dropped such methods from summary resolution entirely.
+type DBStore struct{}
+
+func (DBStore) Save(s *dao.Session, id int64) {
+	dao.LockProduct(s, id)
+}
