@@ -10,12 +10,16 @@ package staticlint
 // computed bottom-up to a fixed point, so a handler's event sequence
 // includes everything its callees do: across packages, through
 // interfaces, and through recursion. Summaries dedupe on the leaf
-// (kind, file, line) identity, which both makes the fixpoint monotone
-// and prevents diamond call paths from double-counting one acquisition.
+// (kind, file, line) identity, which makes the fixpoint monotone; the
+// splice back into caller facts additionally scopes that dedup per
+// call-site context (spliceCtx), so diamond call paths don't
+// double-count one acquisition but a callee invoked both before and
+// inside a loop still registers its per-element in-loop acquisition.
 
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -443,23 +447,29 @@ func (g *callGraph) summarizeOne(n *cgNode) *funcSum {
 
 // splice folds every resolved callee's summary back into the caller's
 // facts as summary events/templates anchored at the call site. Dedup is
-// seeded with the caller's own leaf identities, so a diamond (two call
-// paths to one acquisition) and recursion (a function reaching its own
-// events transitively) contribute each site once.
+// scoped per leaf identity AND per call-site context (innermost loop
+// body plus conditionality): a diamond — two call paths to one
+// acquisition from the same context — and recursion (a function
+// reaching its own events transitively) contribute each site once,
+// while a callee invoked both before a loop and inside it keeps the
+// in-loop occurrence, since that per-element acquisition is exactly
+// what the unordered-locks check inspects. Seeding with the caller's
+// own leaves keeps recursion from re-adding local events.
 func (g *callGraph) splice() {
 	for _, n := range g.nodes {
 		f := n.facts
 		seenEv := map[string]bool{}
 		for _, ev := range f.events {
-			seenEv[eventKey(ev.kind, f.file, ev.line, ev.entTab, ev.col)] = true
+			seenEv[eventKey(ev.kind, f.file, ev.line, ev.entTab, ev.col)+spliceCtx(f, ev.pos)] = true
 		}
 		seenTm := map[string]bool{}
 		for _, t := range f.tmpls {
-			seenTm[tmplKey(t.kind, f.file, t.line, t.sql, t.table, t.col)] = true
+			seenTm[tmplKey(t.kind, f.file, t.line, t.sql, t.table, t.col)+spliceCtx(f, t.pos)] = true
 		}
 		var addEv []event
 		var addTm []tmpl
 		for ci, c := range f.calls {
+			ctx := spliceCtx(f, c.pos)
 			for _, calleeID := range n.callees[ci] {
 				callee := g.nodes[calleeID]
 				if opensTxn(callee.facts) {
@@ -467,7 +477,7 @@ func (g *callGraph) splice() {
 				}
 				disp := g.display(n, callee)
 				for _, se := range callee.sum.events {
-					k := eventKey(se.kind, se.file, se.line, se.entTab, se.col)
+					k := eventKey(se.kind, se.file, se.line, se.entTab, se.col) + ctx
 					if seenEv[k] {
 						continue
 					}
@@ -481,7 +491,7 @@ func (g *callGraph) splice() {
 					})
 				}
 				for _, st := range callee.sum.tmpls {
-					k := tmplKey(st.kind, st.file, st.line, st.sql, st.table, st.col)
+					k := tmplKey(st.kind, st.file, st.line, st.sql, st.table, st.col) + ctx
 					if seenTm[k] {
 						continue
 					}
@@ -500,6 +510,31 @@ func (g *callGraph) splice() {
 		sort.SliceStable(f.tmpls, func(i, j int) bool { return f.tmpls[i].pos < f.tmpls[j].pos })
 		finalizeSends(f)
 	}
+}
+
+// spliceCtx renders the dedup context of one caller position: the
+// innermost tracked loop body containing it (loops are appended in
+// preorder, so the last containing entry is the innermost) and whether
+// it sits inside any conditional/loop body at all. Two occurrences of
+// the same leaf merge only when their sites share a context — what the
+// downstream checks distinguish: unordered-locks asks "is there a lock
+// event in THIS loop body", and a spliced event's conditionality is
+// taken from its own site, not from whichever site happened first.
+func spliceCtx(f *fnFacts, pos token.Pos) string {
+	loop := -1
+	for i, lp := range f.loops {
+		if pos >= lp.body[0] && pos < lp.body[1] {
+			loop = i
+		}
+	}
+	cond := false
+	for _, r := range f.conds {
+		if pos >= r[0] && pos < r[1] {
+			cond = true
+			break
+		}
+	}
+	return fmt.Sprintf("|L%d|C%t", loop, cond)
 }
 
 // opensTxn reports whether a function's body opens its own transaction

@@ -6,6 +6,7 @@ package staticlint
 // against the old per-package receiver-name heuristic.
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -222,6 +223,135 @@ func TestDiamondDedup(t *testing.T) {
 	}
 	if len(top.tmpls) != 1 {
 		t.Errorf("diamond top: want 1 template after dedup, got %d: %+v", len(top.tmpls), top.tmpls)
+	}
+}
+
+// TestRepeatedCalleeAcrossContexts pins the context-scoped splice
+// dedup: a lock-taking callee invoked before a loop AND per element
+// inside two separate loops keeps one lock event in each context, so
+// both loops are flagged — matching the per-package heuristic, which
+// never deduped across call sites. Two calls from the same (top-level)
+// context still collapse, diamond-style.
+func TestRepeatedCalleeAcrossContexts(t *testing.T) {
+	const dir = "testdata/src/repeat"
+	for _, tc := range []struct {
+		name string
+		opt  VetOptions
+	}{
+		{"wholeprog", DefaultVetOptions()},
+		{"heuristic", VetOptions{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := VetDir(dir, nil, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range []int{22, 25} {
+				ok := false
+				for _, f := range fs {
+					if f.Kind == KindUnorderedLocks && f.Line == line {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("missing unordered-locks at repeat.go:%d; findings:\n%v", line, fs)
+				}
+			}
+		})
+	}
+	ps := scanCorpus(t, dir, DefaultVetOptions())
+	h := factsOf(t, ps, "Handler")
+	if got := len(locksOf(h)); got != 3 {
+		t.Errorf("Handler lock events = %d, want 3 (pre-loop + one per loop): %+v", got, locksOf(h))
+	}
+	if got := len(h.tmpls); got != 3 {
+		t.Errorf("Handler templates = %d, want 3 (the in-loop sends execute per element)", got)
+	}
+	if got := len(locksOf(factsOf(t, ps, "twice"))); got != 1 {
+		t.Errorf("twice lock events = %d, want 1 (same-context repeats still dedupe)", got)
+	}
+}
+
+// TestSessionSurfaceNotAnalyzed: a tree that contains the ORM/session
+// type itself must not report the session-method bodies as app APIs —
+// in either resolution mode (parseTarget and scanDir apply the same
+// sessionMethods skip).
+func TestSessionSurfaceNotAnalyzed(t *testing.T) {
+	cg := scanCorpus(t, wholeprogDir, DefaultVetOptions())
+	heur, err := scanDir(filepath.Join(wholeprogDir, "dao"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range []*pkgScan{cg, heur} {
+		for _, f := range ps.facts {
+			if sessionMethods[f.name] {
+				t.Errorf("session method %q analyzed as an app API", f.name)
+			}
+		}
+	}
+}
+
+// TestLoadTreeCacheInvalidation: the program cache is keyed on tree
+// content, so a re-vet after a source edit in the same process sees
+// the new code instead of the first load's stale findings.
+func TestLoadTreeCacheInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	writeAll := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeAll("go.mod", "module cachetest\n\ngo 1.22\n")
+	writeAll("app.go", `package app
+
+type session struct{}
+
+func (s *session) Exec(sql string, args ...any) {}
+
+func lockOne(s *session, id int64) {
+	s.Exec(`+"`UPDATE Product SET POPULARITY = ? WHERE ID = ?`"+`, id)
+}
+
+func Handler(s *session, ids []int64) {
+	for _, id := range ids {
+		lockOne(s, id)
+	}
+}
+`)
+	fs, err := VetDir(dir, nil, DefaultVetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Kind != KindUnorderedLocks {
+		t.Fatalf("initial vet: want one unordered-locks finding, got %v", fs)
+	}
+	// The fix: sort before locking (the loop suppression kicks in).
+	writeAll("app.go", `package app
+
+import "sort"
+
+type session struct{}
+
+func (s *session) Exec(sql string, args ...any) {}
+
+func lockOne(s *session, id int64) {
+	s.Exec(`+"`UPDATE Product SET POPULARITY = ? WHERE ID = ?`"+`, id)
+}
+
+func Handler(s *session, ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		lockOne(s, id)
+	}
+}
+`)
+	fs, err = VetDir(dir, nil, DefaultVetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("re-vet after edit still reports stale findings: %v", fs)
 	}
 }
 

@@ -35,7 +35,7 @@ func render(fs []staticlint.Finding) string {
 // fixtures deliberately don't type-check and have no matching local
 // declarations), so richer resolution changes nothing there.
 func TestFixturesGolden(t *testing.T) {
-	for _, name := range []string{"f2", "f4", "f9", "clean", "wholeprog", "diamond", "recv"} {
+	for _, name := range []string{"f2", "f4", "f9", "clean", "wholeprog", "diamond", "recv", "repeat"} {
 		t.Run(name, func(t *testing.T) {
 			fs, err := staticlint.Vet(filepath.Join("testdata", "src", name), nil)
 			if err != nil {

@@ -133,8 +133,9 @@ type fnFacts struct {
 	tmpls    []tmpl
 	loops    []loopInfo
 	ifs      []ifInfo
-	merges   []event // Merge call sites
-	persists []event // Persist call sites
+	conds    [][2]token.Pos // every conditional/loop body range, preorder
+	merges   []event        // Merge call sites
+	persists []event        // Persist call sites
 	queried  map[string]bool
 	calls    []callSite // deferred non-session calls (whole-program mode)
 }
@@ -177,7 +178,13 @@ func scanDir(dir string) (*pkgScan, error) {
 			return nil, fmt.Errorf("staticlint: %w", err)
 		}
 		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			// Declarations named like session methods are the ORM
+			// surface itself (or an app's local stand-in for it), not
+			// app transaction APIs: their bodies are never interpreted
+			// and calls to them become events at the call site.
+			// parseTarget applies the same rule, so both resolution
+			// modes see the same declaration set.
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && !sessionMethods[fd.Name.Name] {
 				p.decls = append(p.decls, fd)
 			}
 		}
@@ -185,9 +192,6 @@ func scanDir(dir string) (*pkgScan, error) {
 	sort.Slice(p.decls, func(i, j int) bool { return p.decls[i].Pos() < p.decls[j].Pos() })
 	for _, fd := range p.decls {
 		name := fd.Name.Name
-		if sessionMethods[name] {
-			continue
-		}
 		p.recvs[name] = recvIdent(fd)
 		p.meths[name] = fd.Recv != nil
 		sum := funcSummary{}
@@ -366,6 +370,7 @@ func (p *pkgScan) interpret(fd *ast.FuncDecl) *fnFacts {
 		return true
 	})
 	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+	facts.conds = condRanges // retained: splice scopes its dedup per context
 	inCond := func(at token.Pos) bool {
 		for _, r := range condRanges {
 			if at >= r[0] && at < r[1] {

@@ -1,0 +1,35 @@
+// Package repeat pins context-scoped summary dedup (the complement of
+// the diamond fixture): lockOne's single acquisition site is reached
+// once before any loop and then per element inside two separate loops.
+// Leaf-identity dedup alone would let the pre-loop call swallow both
+// in-loop acquisitions and silence the unordered-locks hazard on the
+// loops; scoping the dedup per call-site context keeps one event in
+// each loop while twice() still collapses its two same-context calls.
+package repeat
+
+type session struct{}
+
+func (s *session) Exec(sql string, args ...any) {}
+
+func lockOne(s *session, id int64) {
+	s.Exec(`UPDATE Product SET POPULARITY = ? WHERE ID = ?`, id)
+}
+
+// Handler locks a pivot row up front, then the rows of two unsorted
+// collections: the hazard lives on both loops, not on the first call.
+func Handler(s *session, ids, more []int64) {
+	lockOne(s, 1)
+	for _, id := range ids {
+		lockOne(s, id)
+	}
+	for _, id := range more {
+		lockOne(s, id)
+	}
+}
+
+// twice reaches the same leaf twice from one (top-level) context: the
+// two occurrences still dedupe to a single event and template.
+func twice(s *session) {
+	lockOne(s, 1)
+	lockOne(s, 2)
+}

@@ -17,6 +17,8 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,23 +46,31 @@ type program struct {
 	targets []*progPkg
 	byPath  map[string]*progPkg
 	deps    map[string]*types.Package
+	depDirs map[string]bool // module directories read by loadDep (cache revalidation)
 	loading map[string]bool // import paths currently being dep-checked (cycle guard)
 	info    *types.Info
 	typeErr int // type errors swallowed by the tolerant handler
 }
 
 // Loading a tree is pure (ASTs and type info are never mutated by the
-// scan), so programs are cached per target directory: determinism tests
-// re-vet the same corpus dozens of times and would otherwise re-check
-// the world on every run.
+// scan), so programs are cached: determinism tests re-vet the same
+// corpus dozens of times and would otherwise re-check the world on
+// every run. The cache key includes a content stamp of the target tree
+// (file sizes + mtimes + the nearest go.mod), and a hit additionally
+// revalidates the stamp of every module directory the lazy dep loader
+// read — so a long-lived process that re-vets after source edits gets
+// a fresh load instead of the first invocation's stale findings.
+// Superseded entries for edited trees stay in the map until process
+// exit; they are small (one program per edit) and never returned.
 var (
 	progMu    sync.Mutex
 	progCache = map[string]progResult{}
 )
 
 type progResult struct {
-	prog *program
-	err  error
+	prog     *program
+	err      error
+	depStamp string // depsStamp at load time
 }
 
 func loadTree(dir string) (*program, error) {
@@ -68,17 +78,98 @@ func loadTree(dir string) (*program, error) {
 	if err != nil {
 		abs = dir
 	}
-	// Key on both forms: the given dir spelling decides the file paths
-	// recorded in findings.
-	key := abs + "\x00" + dir
+	// Key on both path forms (the given dir spelling decides the file
+	// paths recorded in findings) plus the tree's content stamp.
+	key := abs + "\x00" + dir + "\x00" + treeStamp(dir)
 	progMu.Lock()
 	defer progMu.Unlock()
-	if r, ok := progCache[key]; ok {
+	if r, ok := progCache[key]; ok && depsStamp(r.prog) == r.depStamp {
 		return r.prog, r.err
 	}
 	prog, err := loadTreeUncached(dir)
-	progCache[key] = progResult{prog, err}
+	progCache[key] = progResult{prog, err, depsStamp(prog)}
 	return prog, err
+}
+
+// dirStamp hashes one directory's non-test .go files (name, size,
+// mtime) into h; os.ReadDir returns entries sorted, so the stamp is
+// deterministic.
+func dirStamp(h io.Writer, dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(h, "%s!%v;", dir, err)
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			fmt.Fprintf(h, "%s!%v;", name, err)
+			continue
+		}
+		fmt.Fprintf(h, "%s=%d,%d;", name, info.Size(), info.ModTime().UnixNano())
+	}
+}
+
+// treeStamp stamps the full target tree — every directory the loader
+// would visit (collectGoDirs' walk rules) — plus the nearest enclosing
+// go.mod, whose module path decides import resolution.
+func treeStamp(dir string) string {
+	h := fnv.New64a()
+	var walk func(d string)
+	walk = func(d string) {
+		fmt.Fprintf(h, "[%s]", d)
+		dirStamp(h, d)
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			return
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() && name != "vendor" && name != "testdata" &&
+				!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+				walk(filepath.Join(d, name))
+			}
+		}
+	}
+	walk(dir)
+	if abs, err := filepath.Abs(dir); err == nil {
+		for d := abs; ; {
+			if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+				fmt.Fprintf(h, "mod[%s]=%d,%d;", d, fi.Size(), fi.ModTime().UnixNano())
+				break
+			}
+			parent := filepath.Dir(d)
+			if parent == d {
+				break
+			}
+			d = parent
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// depsStamp stamps the module directories a load actually read for
+// lazy dependency packages (they contribute API surface to the type
+// check, so edits there invalidate too).
+func depsStamp(p *program) string {
+	if p == nil || len(p.depDirs) == 0 {
+		return ""
+	}
+	dirs := make([]string, 0, len(p.depDirs))
+	for d := range p.depDirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	h := fnv.New64a()
+	for _, d := range dirs {
+		fmt.Fprintf(h, "[%s]", d)
+		dirStamp(h, d)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 func loadTreeUncached(dir string) (*program, error) {
@@ -94,6 +185,7 @@ func loadTreeUncached(dir string) (*program, error) {
 		fset:    token.NewFileSet(),
 		byPath:  map[string]*progPkg{},
 		deps:    map[string]*types.Package{},
+		depDirs: map[string]bool{},
 		loading: map[string]bool{},
 		info: &types.Info{
 			Defs:       map[*ast.Ident]types.Object{},
@@ -231,7 +323,11 @@ func (p *program) parseTarget(dir string) (*progPkg, error) {
 		}
 		tp.files = append(tp.files, f)
 		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			// Session-method-named declarations are the ORM surface, not
+			// app APIs: skipped here exactly as scanDir skips them, so a
+			// tree that contains the session type itself (or a local
+			// wrapper of it) reports the same findings in both modes.
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && !sessionMethods[fd.Name.Name] {
 				tp.decls = append(tp.decls, fd)
 			}
 		}
@@ -339,6 +435,7 @@ func (p *program) loadDep(path string) *types.Package {
 		return placeholder() // stdlib or external module
 	}
 	dir := filepath.Join(p.modRoot, filepath.FromSlash(sub))
+	p.depDirs[dir] = true // revalidated on cache hits (depsStamp)
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return placeholder()
