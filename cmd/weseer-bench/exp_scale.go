@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"weseer/internal/appgen"
+	"weseer/internal/apps"
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+)
+
+// The scale experiment sweeps synthetic corpora (internal/appgen) across
+// template counts, diagnosing each at Parallelism=1 and at -parallel N.
+// Every point verifies the two reports are byte-identical — the same
+// determinism contract table2 enforces — before its timings are
+// recorded. The sweep, with the generator seed and the full normalized
+// configuration of every corpus embedded, goes to -scaleout.
+
+var (
+	scaleSizesF = flag.String("scalesizes", "96,384,1056", "template counts for the -exp scale sweep")
+	scaleSeedF  = flag.Int64("scaleseed", 7, "generator seed for -exp scale")
+	scaleOutF   = flag.String("scaleout", "BENCH_scale.json", "write the -exp scale sweep as versioned JSON to this file")
+)
+
+func init() {
+	registerExp(8, "scale", "generated-corpus size x parallelism sweep (appgen, via the registry)", scale)
+}
+
+// scaleRun is one timed diagnosis of a generated corpus at a fixed
+// worker count.
+type scaleRun struct {
+	WallMS      int64 `json:"wall_ms"`
+	EnumMS      int64 `json:"enum_ms"`
+	FineMS      int64 `json:"fine_ms"`
+	SolverMS    int64 `json:"solver_ms"` // cumulative in-solver time across workers
+	SolverCalls int   `json:"solver_calls"`
+	MemoHits    int   `json:"memo_hits"`
+}
+
+// scalePoint is one corpus size in the sweep.
+type scalePoint struct {
+	Templates        int           `json:"templates"`
+	Spec             string        `json:"spec"` // canonical gen spec: reproduces this corpus exactly
+	Config           appgen.Config `json:"config"`
+	Traces           int           `json:"traces"`
+	Pairs            int           `json:"pairs"`
+	PairsAfterPhase1 int           `json:"pairs_after_phase1"`
+	GroupsSolved     int           `json:"groups_solved"`
+	Deadlocks        int           `json:"deadlocks"`
+	ClassesDiagnosed int           `json:"classes_diagnosed"`
+	CollectMS        int64         `json:"collect_ms"`
+	Serial           scaleRun      `json:"serial"`
+	Parallel         scaleRun      `json:"parallel"`
+	Speedup          float64       `json:"speedup"`
+	// AmdahlBound is the speedup the serial run's phase breakdown admits
+	// at the sweep's parallelism — fine-phase work (the parallel stage)
+	// over total wall — independent of how many cores this machine has.
+	AmdahlBound      float64 `json:"amdahl_bound"`
+	ReportsIdentical bool    `json:"reports_identical"`
+}
+
+// scaleJSON is the versioned -scaleout payload. NumCPU and GOMAXPROCS
+// record the machine the sweep ran on: wall-clock speedup is bounded by
+// the scheduler-visible core count, so the same corpus shows parity on
+// a single-core container and near-linear scaling where cores exist.
+type scaleJSON struct {
+	Version     int          `json:"version"`
+	Seed        int64        `json:"seed"`
+	Parallelism int          `json:"parallelism"`
+	NumCPU      int          `json:"num_cpu"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Points      []scalePoint `json:"points"`
+}
+
+func scaleSizes() []int {
+	var out []int
+	for _, part := range strings.Split(*scaleSizesF, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "weseer-bench: bad -scalesizes entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// renderScaleReport is the canonical per-corpus report text used for the
+// serial/parallel byte-identity check: timing-free funnel, sorted class
+// counts, then every deadlock's rendered form.
+func renderScaleReport(app apps.App, res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "funnel: %+v\n", res.Stats.WithoutTimings())
+	counts := map[string]int{}
+	for _, d := range res.Deadlocks {
+		counts[app.Classify(d)]++
+	}
+	var classes []string
+	for cl := range counts {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	for _, cl := range classes {
+		fmt.Fprintf(&b, "class %q: %d report(s)\n", cl, counts[cl])
+	}
+	for i, d := range res.Deadlocks {
+		fmt.Fprintf(&b, "--- deadlock %d class=%q\n%s", i+1, app.Classify(d), d.Render())
+	}
+	return b.String()
+}
+
+func scale() {
+	workers := *parallelF
+	header(fmt.Sprintf("Scale: generated corpora, Parallelism=1 vs %d", workers))
+	out := scaleJSON{Version: 1, Seed: *scaleSeedF, Parallelism: workers,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if out.GOMAXPROCS < workers {
+		fmt.Printf("note: GOMAXPROCS=%d < %d workers — the timed runs share cores, so expect\n"+
+			"wall-clock parity here; the byte-identity check is machine-independent\n",
+			out.GOMAXPROCS, workers)
+	}
+
+	fmt.Printf("%9s %7s %9s %9s %7s %5s %10s %10s %8s\n",
+		"templates", "traces", "pairs", "after-p1", "groups", "dl", "serial-ms", "par-ms", "speedup")
+	for _, n := range scaleSizes() {
+		spec := fmt.Sprintf("%d,templates=%d", *scaleSeedF, n)
+		app := openApp("gen:" + spec)
+		cfg := app.(interface{ Config() appgen.Config }).Config()
+
+		start := time.Now()
+		traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic)
+		check(err)
+		collectMS := time.Since(start).Milliseconds()
+
+		run := func(w int) (scaleRun, *core.Result, string) {
+			t0 := time.Now()
+			res, err := core.NewAnalyzer(app.Schema(), core.WithParallelism(w)).
+				AnalyzeContext(context.Background(), traces)
+			check(err)
+			r := scaleRun{
+				WallMS:      time.Since(t0).Milliseconds(),
+				EnumMS:      res.Stats.EnumTime.Milliseconds(),
+				FineMS:      res.Stats.FineTime.Milliseconds(),
+				SolverMS:    res.Stats.SolverTime.Milliseconds(),
+				SolverCalls: res.Stats.SolverCalls,
+				MemoHits:    res.Stats.MemoHits,
+			}
+			return r, res, renderScaleReport(app, res)
+		}
+		// Untimed warmup: Canon's process-wide caches (local keys, the
+		// intern table) persist across runs, so whichever timed run goes
+		// first would otherwise pay the cold-cache cost alone.
+		run(workers)
+		serial, res, serialReport := run(1)
+		par, pres, parReport := run(workers)
+
+		classes := map[string]bool{}
+		for _, d := range res.Deadlocks {
+			if cl := app.Classify(d); cl != "" {
+				classes[cl] = true
+			}
+		}
+		pt := scalePoint{
+			Templates:        cfg.Templates,
+			Spec:             cfg.Spec(),
+			Config:           cfg,
+			Traces:           len(traces),
+			Pairs:            res.Stats.Pairs,
+			PairsAfterPhase1: res.Stats.PairsAfterPhase1,
+			GroupsSolved:     res.Stats.GroupsSolved,
+			Deadlocks:        len(res.Deadlocks),
+			ClassesDiagnosed: len(classes),
+			CollectMS:        collectMS,
+			Serial:           serial,
+			Parallel:         par,
+			ReportsIdentical: serialReport == parReport,
+		}
+		if par.WallMS > 0 {
+			pt.Speedup = float64(serial.WallMS) / float64(par.WallMS)
+		}
+		if serial.WallMS > 0 {
+			p := float64(serial.FineMS) / float64(serial.WallMS)
+			pt.AmdahlBound = 1 / ((1 - p) + p/float64(workers))
+		}
+		fmt.Printf("%9d %7d %9d %9d %7d %5d %10d %10d %7.2fx\n",
+			pt.Templates, pt.Traces, pt.Pairs, pt.PairsAfterPhase1, pt.GroupsSolved,
+			pt.Deadlocks, serial.WallMS, par.WallMS, pt.Speedup)
+		if !pt.ReportsIdentical {
+			fmt.Println("  ERROR: parallel report differs from serial — determinism bug; not writing BENCH files")
+			os.Exit(1)
+		}
+		if pres.Stats.GroupsSolved != res.Stats.GroupsSolved {
+			fmt.Println("  ERROR: parallel funnel differs from serial — determinism bug; not writing BENCH files")
+			os.Exit(1)
+		}
+		out.Points = append(out.Points, pt)
+	}
+
+	if *scaleOutF != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*scaleOutF, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s (seed %d, %d point(s))\n", *scaleOutF, out.Seed, len(out.Points))
+	}
+}

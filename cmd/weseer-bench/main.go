@@ -1,14 +1,7 @@
 // Command weseer-bench regenerates every table and figure of the paper's
-// evaluation (Sec. VII) against the bundled model applications:
-//
-//	-exp table1    Table I: target APIs and invocation counts
-//	-exp table2    Table II: the 18 deadlocks and their fixes
-//	-exp table3    Table III: unit-test runtime per engine mode
-//	-exp fig10     Fig. 10: Broadleaf throughput across fix ablations
-//	-exp fig11     Fig. 11: Shopizer throughput across fix ablations
-//	-exp pruning   Sec. IV: path-condition pruning (656K → 2.7K analog)
-//	-exp baseline  Sec. VII-B: coarse-only cycle explosion (18,384 analog)
-//	-exp all       everything above
+// evaluation (Sec. VII) against the bundled model applications, plus a
+// scale sweep over synthetic generated corpora. Run -exp list for the
+// experiment table; -exp all runs everything in sequence.
 //
 // Absolute numbers depend on this machine; the paper's claims are about
 // shape (who wins, by what order of magnitude, where the crossover sits).
@@ -23,6 +16,13 @@
 // clauses, backjumps, theory calls) — against the recorded pre-CDCL
 // baseline. Both writes are gated on the serial and parallel reports
 // being byte-identical; a mismatch exits non-zero instead.
+//
+// scale generates synthetic corpora (internal/appgen, opened through the
+// application registry as gen:<seed>,templates=N,...) at increasing
+// template counts, runs the full diagnosis serially and at -parallel N,
+// verifies byte-identical reports, and writes the speedup curve — with
+// the generator seed and full configuration embedded — to -scaleout
+// (default BENCH_scale.json).
 //
 // -traceout FILE and -metricsout FILE re-run the table2 parallel
 // diagnosis once more with an observer attached — after the identity
@@ -46,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"weseer/internal/apps"
 	"weseer/internal/apps/appkit"
 	"weseer/internal/apps/broadleaf"
 	"weseer/internal/apps/shopizer"
@@ -53,7 +54,6 @@ import (
 	"weseer/internal/core"
 	"weseer/internal/minidb"
 	"weseer/internal/obs"
-	"weseer/internal/schema"
 	"weseer/internal/trace"
 	"weseer/internal/workload"
 )
@@ -61,7 +61,7 @@ import (
 var (
 	duration   = flag.Duration("duration", 500*time.Millisecond, "per-configuration workload duration (fig10/fig11)")
 	clientsF   = flag.String("clients", "8,64,128", "client counts for fig10/fig11")
-	parallelF  = flag.Int("parallel", 4, "worker count for the table2 parallel-pipeline comparison")
+	parallelF  = flag.Int("parallel", 4, "worker count for the parallel-pipeline comparisons (table2, scale)")
 	outF       = flag.String("out", "", "write the table2 pipeline benchmark as versioned JSON to this file")
 	solverOutF = flag.String("solverout", "", "write the table2 solver-engine breakdown as versioned JSON to this file")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -70,9 +70,86 @@ var (
 	metricsF   = flag.String("metricsout", "", "write the observed table2 run's metrics in Prometheus text format")
 )
 
+// experiment is one entry in the self-registering experiment table.
+// Experiments register themselves from init functions; adding one never
+// touches main.
+type experiment struct {
+	seq  int    // position in the -exp all order
+	name string // -exp selector
+	desc string // one line for -exp list and the usage header
+	run  func()
+}
+
+var experiments []experiment
+
+// registerExp adds an experiment to the table. seq orders the -exp all
+// run (and the listing); names must be unique.
+func registerExp(seq int, name, desc string, run func()) {
+	for _, e := range experiments {
+		if e.name == name {
+			panic("weseer-bench: duplicate experiment " + name)
+		}
+	}
+	experiments = append(experiments, experiment{seq: seq, name: name, desc: desc, run: run})
+}
+
+func init() {
+	registerExp(1, "table1", "Table I: target APIs and invocation counts", table1)
+	registerExp(2, "table2", "Table II: the 18 deadlocks, fixes, and the parallel pipeline bench", table2)
+	registerExp(3, "table3", "Table III: unit-test runtime per engine mode", table3)
+	registerExp(4, "fig10", "Fig. 10: Broadleaf throughput across fix ablations", fig10)
+	registerExp(5, "fig11", "Fig. 11: Shopizer throughput across fix ablations", fig11)
+	registerExp(6, "pruning", "Sec. IV: path-condition pruning (656K -> 2.7K analog)", pruning)
+	registerExp(7, "baseline", "Sec. VII-B: coarse-only cycle explosion (18,384 analog)", baseline)
+}
+
+// sortedExperiments returns the experiment table in seq order.
+func sortedExperiments() []experiment {
+	out := make([]experiment, len(experiments))
+	copy(out, experiments)
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+func listExperiments(w *os.File) {
+	fmt.Fprintln(w, "experiments (-exp NAME, or -exp all):")
+	for _, e := range sortedExperiments() {
+		fmt.Fprintf(w, "  %-10s %s\n", e.name, e.desc)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: weseer-bench [flags] -exp NAME|list|all")
+	fmt.Fprintln(os.Stderr)
+	listExperiments(os.Stderr)
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(os.Stderr, "flags:")
+	flag.PrintDefaults()
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig10|fig11|pruning|baseline|all)")
+	exp := flag.String("exp", "all", "experiment to run (see -exp list)")
+	flag.Usage = usage
 	flag.Parse()
+	if *exp == "list" {
+		listExperiments(os.Stdout)
+		return
+	}
+	var selected []experiment
+	if *exp == "all" {
+		selected = sortedExperiments()
+	} else {
+		for _, e := range sortedExperiments() {
+			if e.name == *exp {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "weseer-bench: unknown experiment %q\n\n", *exp)
+			usage()
+			os.Exit(2)
+		}
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		check(err)
@@ -82,18 +159,9 @@ func main() {
 			check(f.Close())
 		}()
 	}
-	run := func(name string, fn func()) {
-		if *exp == "all" || *exp == name {
-			fn()
-		}
+	for _, e := range selected {
+		e.run()
 	}
-	run("table1", table1)
-	run("table2", table2)
-	run("table3", table3)
-	run("fig10", fig10)
-	run("fig11", fig11)
-	run("pruning", pruning)
-	run("baseline", baseline)
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		check(err)
@@ -101,6 +169,14 @@ func main() {
 		check(pprof.WriteHeapProfile(f))
 		check(f.Close())
 	}
+}
+
+// openApp resolves a workload through the application registry; bench
+// experiments share the model apps' default configuration.
+func openApp(spec string) apps.App {
+	app, err := apps.Open(spec, apps.Options{})
+	check(err)
+	return app
 }
 
 func clientCounts() []int {
@@ -146,8 +222,8 @@ func table1() {
 	for _, r := range rows {
 		fmt.Printf("%-9s %-38s %-10s %-10s\n", r.api, r.input, r.bl, r.sh)
 	}
-	blApp := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
-	shApp := shopizer.New(shopizer.Fixes{}, minidb.Config{})
+	blApp := openApp("broadleaf")
+	shApp := openApp("shopizer")
 	fmt.Printf("\nunit tests bundled: Broadleaf %d, Shopizer %d (Add invoked three times; "+
 		"each invocation runs a different code path)\n",
 		len(blApp.UnitTests()), len(shApp.UnitTests()))
@@ -158,24 +234,24 @@ func table1() {
 
 func table2() {
 	header("Table II: deadlocks found by WeSEER")
-	blApp := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
-	shApp := shopizer.New(shopizer.Fixes{}, minidb.Config{})
+	blApp := openApp("broadleaf")
+	shApp := openApp("shopizer")
 
 	blTraces, err := appkit.Collect(blApp.UnitTests(), concolic.ModeConcolic)
 	check(err)
 	shTraces, err := appkit.Collect(shApp.UnitTests(), concolic.ModeConcolic)
 	check(err)
 
-	blRes := core.New(broadleaf.Schema(), core.Options{}).Analyze(blTraces)
-	shRes := core.New(shopizer.Schema(), core.Options{}).Analyze(shTraces)
+	blRes := core.New(blApp.Schema(), core.Options{}).Analyze(blTraces)
+	shRes := core.New(shApp.Schema(), core.Options{}).Analyze(shTraces)
 
 	blFound := map[string]int{}
 	for _, d := range blRes.Deadlocks {
-		blFound[broadleaf.Classify(d)]++
+		blFound[blApp.Classify(d)]++
 	}
 	shFound := map[string]int{}
 	for _, d := range shRes.Deadlocks {
-		shFound[shopizer.Classify(d)]++
+		shFound[shApp.Classify(d)]++
 	}
 
 	fmt.Printf("%-9s %-4s %-38s %-50s %s\n", "App", "Id", "Deadlock APIs", "Fix", "Found")
@@ -198,8 +274,8 @@ func table2() {
 	fmt.Println("Shopizer: ", shRes.Stats.Render())
 
 	// Phase-0 static prescreen: same diagnosis, fewer solver calls.
-	blPre := core.New(broadleaf.Schema(), core.Options{StaticPrescreen: true}).Analyze(blTraces)
-	shPre := core.New(shopizer.Schema(), core.Options{StaticPrescreen: true}).Analyze(shTraces)
+	blPre := core.New(blApp.Schema(), core.Options{StaticPrescreen: true}).Analyze(blTraces)
+	shPre := core.New(shApp.Schema(), core.Options{StaticPrescreen: true}).Analyze(shTraces)
 	fmt.Println("\nwith -exp table2 static prescreen (weseer vet Phase-0):")
 	fmt.Println("Broadleaf:", blPre.Stats.Render())
 	fmt.Println("Shopizer: ", shPre.Stats.Render())
@@ -209,7 +285,7 @@ func table2() {
 	fmt.Printf("solver calls: %d without prescreen -> %d with (%d saved, %d reports unchanged)\n",
 		off, on, saved, len(blPre.Deadlocks)+len(shPre.Deadlocks))
 
-	pipelineBench(blTraces, shTraces)
+	pipelineBench(blApp, shApp, blTraces, shTraces)
 }
 
 // pipelineRun is one timed diagnosis of both apps at a fixed worker
@@ -250,9 +326,9 @@ type pipelineJSON struct {
 	ReportsIdentical bool        `json:"reports_identical"`
 }
 
-func timedRun(blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
-	diagnose := func(scm *schema.Schema, traces []*trace.Trace, classify func(*core.Deadlock) string, b *strings.Builder, r *pipelineRun) {
-		res, err := core.NewAnalyzer(scm, core.WithParallelism(workers)).AnalyzeContext(context.Background(), traces)
+func timedRun(blApp, shApp apps.App, blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
+	diagnose := func(app apps.App, traces []*trace.Trace, b *strings.Builder, r *pipelineRun) {
+		res, err := core.NewAnalyzer(app.Schema(), core.WithParallelism(workers)).AnalyzeContext(context.Background(), traces)
 		check(err)
 		r.GroupsSolved += res.Stats.GroupsSolved
 		r.SolverCalls += res.Stats.SolverCalls
@@ -270,7 +346,7 @@ func timedRun(blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
 		seen := map[string]bool{}
 		for _, d := range res.Deadlocks {
 			b.WriteString(d.Render())
-			if id := classify(d); id != "" && id != "extra" && id != "fp-checkout-applock" && !seen[id] {
+			if id := app.Classify(d); id != "" && id != "extra" && id != "fp-checkout-applock" && !seen[id] {
 				seen[id] = true
 				r.found++
 			}
@@ -279,8 +355,8 @@ func timedRun(blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
 	var r pipelineRun
 	var b strings.Builder
 	start := time.Now()
-	diagnose(broadleaf.Schema(), blTraces, broadleaf.Classify, &b, &r)
-	diagnose(shopizer.Schema(), shTraces, shopizer.Classify, &b, &r)
+	diagnose(blApp, blTraces, &b, &r)
+	diagnose(shApp, shTraces, &b, &r)
 	r.WallMS = time.Since(start).Milliseconds()
 	r.rendered = b.String()
 	return r
@@ -289,11 +365,11 @@ func timedRun(blTraces, shTraces []*trace.Trace, workers int) pipelineRun {
 // pipelineBench compares the diagnosis at Parallelism=1 and -parallel N
 // over the Table II workload, checks the reports are byte-identical, and
 // optionally writes the numbers to -out.
-func pipelineBench(blTraces, shTraces []*trace.Trace) {
+func pipelineBench(blApp, shApp apps.App, blTraces, shTraces []*trace.Trace) {
 	workers := *parallelF
 	fmt.Printf("\nparallel pipeline (Parallelism=1 vs %d, memoized):\n", workers)
-	serial := timedRun(blTraces, shTraces, 1)
-	par := timedRun(blTraces, shTraces, workers)
+	serial := timedRun(blApp, shApp, blTraces, shTraces, 1)
+	par := timedRun(blApp, shApp, blTraces, shTraces, workers)
 
 	identical := serial.rendered == par.rendered
 	out := pipelineJSON{
@@ -339,7 +415,7 @@ func pipelineBench(blTraces, shTraces []*trace.Trace) {
 		writeSolverBench(serial, par, workers)
 	}
 	if *traceOutF != "" || *metricsF != "" {
-		observedRun(blTraces, shTraces, workers)
+		observedRun(blApp, shApp, blTraces, shTraces, workers)
 	}
 }
 
@@ -349,13 +425,13 @@ func pipelineBench(blTraces, shTraces []*trace.Trace) {
 // timed comparison; one observer spans both apps, so the trace shows
 // two back-to-back analyze trees and the metrics aggregate the full
 // workload.
-func observedRun(blTraces, shTraces []*trace.Trace, workers int) {
+func observedRun(blApp, shApp apps.App, blTraces, shTraces []*trace.Trace, workers int) {
 	o := obs.NewObserver()
-	_, err := core.NewAnalyzer(broadleaf.Schema(),
+	_, err := core.NewAnalyzer(blApp.Schema(),
 		core.WithParallelism(workers), core.WithObserver(o)).
 		AnalyzeContext(context.Background(), blTraces)
 	check(err)
-	_, err = core.NewAnalyzer(shopizer.Schema(),
+	_, err = core.NewAnalyzer(shApp.Schema(),
 		core.WithParallelism(workers), core.WithObserver(o)).
 		AnalyzeContext(context.Background(), shTraces)
 	check(err)
@@ -440,7 +516,7 @@ func table3() {
 	for _, m := range modes {
 		samples := make([][]float64, len(names))
 		for r := 0; r < reps+1; r++ {
-			app := broadleaf.New(broadleaf.Fixes{}, minidb.Config{})
+			app := openApp("broadleaf")
 			for i, ut := range app.UnitTests() {
 				e := concolic.New(m.mode)
 				e.StartConcolic(ut.Name)
@@ -477,6 +553,10 @@ func table3() {
 
 // ---------------------------------------------------------------------------
 // Fig. 10 / Fig. 11
+//
+// The ablation figures toggle individual fixes, a knob the registry's
+// Fixed bool does not expose, so they keep the model apps' direct Fixes
+// constructors.
 
 func dbCfg() minidb.Config {
 	return minidb.Config{
@@ -561,9 +641,9 @@ func fig11() {
 
 func pruning() {
 	header("Sec. IV: path-condition pruning (Broadleaf unit tests)")
-	pruned, err := appkit.Collect(broadleaf.New(broadleaf.Fixes{}, minidb.Config{}).UnitTests(), concolic.ModeConcolic)
+	pruned, err := appkit.Collect(openApp("broadleaf").UnitTests(), concolic.ModeConcolic)
 	check(err)
-	full, err := appkit.Collect(broadleaf.New(broadleaf.Fixes{}, minidb.Config{}).UnitTests(),
+	full, err := appkit.Collect(openApp("broadleaf").UnitTests(),
 		concolic.ModeConcolic, concolic.WithoutPruning())
 	check(err)
 	fmt.Printf("%-10s %14s %14s %9s\n", "API", "no pruning", "with pruning", "ratio")
@@ -582,15 +662,17 @@ func pruning() {
 
 func baseline() {
 	header("Sec. VII-B: coarse-grained baseline (STEPDAD/REDACT style)")
-	blTraces, err := appkit.Collect(broadleaf.New(broadleaf.Fixes{}, minidb.Config{}).UnitTests(), concolic.ModeConcolic)
+	blApp := openApp("broadleaf")
+	shApp := openApp("shopizer")
+	blTraces, err := appkit.Collect(blApp.UnitTests(), concolic.ModeConcolic)
 	check(err)
-	shTraces, err := appkit.Collect(shopizer.New(shopizer.Fixes{}, minidb.Config{}).UnitTests(), concolic.ModeConcolic)
+	shTraces, err := appkit.Collect(shApp.UnitTests(), concolic.ModeConcolic)
 	check(err)
 
-	blCoarse := core.New(broadleaf.Schema(), core.Options{CoarseOnly: true}).Analyze(blTraces)
-	shCoarse := core.New(shopizer.Schema(), core.Options{CoarseOnly: true}).Analyze(shTraces)
-	blFine := core.New(broadleaf.Schema(), core.Options{}).Analyze(blTraces)
-	shFine := core.New(shopizer.Schema(), core.Options{}).Analyze(shTraces)
+	blCoarse := core.New(blApp.Schema(), core.Options{CoarseOnly: true}).Analyze(blTraces)
+	shCoarse := core.New(shApp.Schema(), core.Options{CoarseOnly: true}).Analyze(shTraces)
+	blFine := core.New(blApp.Schema(), core.Options{}).Analyze(blTraces)
+	shFine := core.New(shApp.Schema(), core.Options{}).Analyze(shTraces)
 
 	total := blCoarse.Stats.CoarseCycles + shCoarse.Stats.CoarseCycles
 	fmt.Printf("coarse hold-and-wait cycles reported: %d (paper: 18,384)\n", total)

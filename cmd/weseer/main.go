@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
-//	weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-//	weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [observability flags]
-//	weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
+//	weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
+//	weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
+//	weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [observability flags]
+//	weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
+//
+// NAME is resolved through the application registry (internal/apps):
+// the bundled model apps ("broadleaf", "shopizer") and the synthetic
+// corpus generator ("gen:<seed>[,templates=N,...]" — see internal/appgen
+// for the knobs). `weseer run` with no -app defaults to broadleaf.
 //
 // Observability flags ("run" and "analyze"): -debug-addr ADDR serves
 // /metrics (Prometheus text), /progress (phase, chains done/total,
@@ -51,12 +56,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"sort"
 	"time"
 
+	"weseer/internal/apps"
 	"weseer/internal/apps/appkit"
-	"weseer/internal/apps/broadleaf"
-	"weseer/internal/apps/shopizer"
 	"weseer/internal/concolic"
 	"weseer/internal/core"
 	"weseer/internal/minidb"
@@ -93,14 +97,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  weseer run     -app broadleaf|shopizer [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
-  weseer collect -app broadleaf|shopizer [-fixed] [-no-prune] -o traces.json
-  weseer analyze -app broadleaf|shopizer -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [obs flags]
-  weseer vet     [-app broadleaf|shopizer|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
+	fmt.Fprint(os.Stderr, `usage:
+  weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
+  weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
+  weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [obs flags]
+  weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
 
+registered applications (-app):
+`+apps.Usage("  ")+`
 observability flags (run/analyze): -debug-addr :6060  -trace-out run.trace.json
-  -events-out run.events.jsonl  -metrics-out run.metrics.prom`)
+  -events-out run.events.jsonl  -metrics-out run.metrics.prom
+`)
 }
 
 // obsFlags are the shared observability flags of "run" and "analyze".
@@ -172,32 +179,34 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 	return fl.Close()
 }
 
-// appUnit bundles what the CLI needs from a model application.
+// appUnit bundles what the CLI needs from an application.
+//
+// Deprecated: appUnit/makeApp are thin shims over the apps registry,
+// kept so the command's internal call sites stay shaped as before; new
+// code should call apps.Open directly.
 type appUnit struct {
 	schema   *schema.Schema
 	db       *minidb.DB
 	tests    []appkit.UnitTest
 	classify func(*core.Deadlock) string
+	srcDir   string // "" when the app has no on-disk source (generated)
 }
 
 func makeApp(name string, fixed bool) (*appUnit, error) {
-	switch name {
-	case "broadleaf":
-		fixes := broadleaf.Fixes{}
-		if fixed {
-			fixes = broadleaf.AllFixes()
-		}
-		app := broadleaf.New(fixes, minidb.Config{})
-		return &appUnit{schema: broadleaf.Schema(), db: app.DB, tests: app.UnitTests(), classify: broadleaf.Classify}, nil
-	case "shopizer":
-		fixes := shopizer.Fixes{}
-		if fixed {
-			fixes = shopizer.AllFixes()
-		}
-		app := shopizer.New(fixes, minidb.Config{})
-		return &appUnit{schema: shopizer.Schema(), db: app.DB, tests: app.UnitTests(), classify: shopizer.Classify}, nil
+	app, err := apps.Open(name, apps.Options{Fixed: fixed})
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown app %q (want broadleaf or shopizer)", name)
+	u := &appUnit{
+		schema:   app.Schema(),
+		db:       app.DB(),
+		tests:    app.UnitTests(),
+		classify: app.Classify,
+	}
+	if s, ok := app.(apps.Sourcer); ok {
+		u.srcDir = s.SourceDir()
+	}
+	return u, nil
 }
 
 func cmdRun(args []string) (err error) {
@@ -405,7 +414,7 @@ func analyzeCtx(app *appUnit, traces []*trace.Trace, timeout time.Duration, opts
 // escalation, buffered-update keys) can run; "none" vets schema-free.
 func cmdVet(args []string) error {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
-	appName := fs.String("app", "none", "schema to attach (broadleaf|shopizer|none)")
+	appName := fs.String("app", "none", "schema to attach (a registry name, or none)")
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON report instead of text")
 	failOn := fs.String("fail-on", "error", "exit 1 when findings reach this severity (info|warn|error)")
 	canonical := fs.Bool("canonical-order", false, "derive the cross-API canonical lock order over every vetted directory and report ranked reorder suggestions")
@@ -420,23 +429,25 @@ func cmdVet(args []string) error {
 		os.Exit(2)
 	}
 	var scm *schema.Schema
-	switch *appName {
-	case "none":
-	case "broadleaf":
-		scm = broadleaf.Schema()
-	case "shopizer":
-		scm = shopizer.Schema()
-	default:
-		fmt.Fprintf(os.Stderr, "weseer vet: unknown app %q (want broadleaf, shopizer, or none)\n", *appName)
-		os.Exit(2)
+	var defaultDir string
+	if *appName != "none" {
+		app, err := apps.Open(*appName, apps.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weseer vet: %v (or \"none\")\n", err)
+			os.Exit(2)
+		}
+		scm = app.Schema()
+		if s, ok := app.(apps.Sourcer); ok {
+			defaultDir = s.SourceDir()
+		}
 	}
 	dirs := fs.Args()
 	if len(dirs) == 0 {
-		if *appName == "none" {
-			fmt.Fprintln(os.Stderr, "weseer vet: no directories given (and no -app default)")
+		if defaultDir == "" {
+			fmt.Fprintln(os.Stderr, "weseer vet: no directories given (and the app provides no source directory)")
 			os.Exit(2)
 		}
-		dirs = []string{filepath.Join("internal", "apps", *appName)}
+		dirs = []string{defaultDir}
 	}
 
 	var findings []staticlint.Finding
@@ -591,12 +602,28 @@ func printReport(res *core.Result, classify func(*core.Deadlock) string, verbose
 		id := classify(d)
 		counts[id] = append(counts[id], d)
 	}
-	fmt.Printf("\n%d deadlock reports, by Table II catalog entry:\n", len(res.Deadlocks))
-	for _, id := range []string{
+	fmt.Printf("\n%d deadlock reports, by catalog entry:\n", len(res.Deadlocks))
+	known := []string{
 		"d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "d10",
 		"d11", "d12", "d13", "d14", "d15", "d16", "d17", "d18",
-		"fp-checkout-applock", "extra", "",
-	} {
+		"fp-checkout-applock", "extra",
+	}
+	// App-specific catalog ids outside the fixed Table II list (e.g. a
+	// generated corpus's planted f-classes) sort after it; unclassified
+	// reports come last.
+	inKnown := map[string]bool{"": true}
+	for _, id := range known {
+		inKnown[id] = true
+	}
+	var extras []string
+	for id := range counts {
+		if !inKnown[id] {
+			extras = append(extras, id)
+		}
+	}
+	sort.Strings(extras)
+	order := append(append(known, extras...), "")
+	for _, id := range order {
 		ds := counts[id]
 		if len(ds) == 0 {
 			continue

@@ -1,0 +1,186 @@
+// Package appgen generates complete synthetic applications — schema,
+// seeded database, transaction templates, and a deadlock classifier —
+// from a small seeded configuration. A generated app exposes the same
+// surface as the hand-written model apps (broadleaf, shopizer), so its
+// corpus flows through concolic collection, prescreen, enumeration, and
+// the solver unchanged. Generation is fully deterministic: the same spec
+// yields a byte-identical manifest and a byte-identical analysis report.
+//
+// The corpus is built so that its set of satisfiable deadlock cycles is
+// exactly the planted anti-pattern instances (classes f1–f11 of the
+// paper's Table II fix catalog): filler templates contribute realistic
+// lock traffic and genuinely-UNSAT solver work but no diagnosable
+// deadlock (see the opKind comment in templates.go for the argument).
+package appgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/orm"
+	"weseer/internal/schema"
+)
+
+// App is one generated application instance.
+type App struct {
+	cfg     Config
+	spec    string
+	scm     *schema.Schema
+	db      *minidb.DB
+	mapping *orm.Mapping
+	mods    []module
+	fillers []template
+	planted []plantedInstance
+	classOf map[string]string // planted table → class
+}
+
+// New generates the application for cfg (normalized first) with a fresh
+// seeded database.
+func New(cfg Config, dbCfg minidb.Config) *App {
+	cfg = cfg.Normalize()
+	if dbCfg.LockWaitTimeout == 0 {
+		dbCfg.LockWaitTimeout = 2 * time.Second
+	}
+	r := newRNG(cfg.Seed)
+	scm := schema.New()
+	a := &App{
+		cfg:     cfg,
+		spec:    cfg.Spec(),
+		scm:     scm,
+		classOf: map[string]string{},
+	}
+	a.mods = buildModules(cfg, r, scm)
+	a.fillers = buildTemplates(cfg, r, a.mods)
+	for _, cc := range cfg.Classes {
+		for i := 0; i < cc.N; i++ {
+			inst := plant(scm, cc.Class, i)
+			for _, tab := range inst.Tables {
+				a.classOf[tab] = cc.Class
+			}
+			a.planted = append(a.planted, inst)
+		}
+	}
+	a.db = minidb.Open(scm, dbCfg)
+	a.mapping = orm.NewMapping(scm)
+	a.seed()
+	return a
+}
+
+// FromSpec generates the application named "gen:"+spec.
+func FromSpec(spec string, dbCfg minidb.Config) (*App, error) {
+	cfg, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg, dbCfg), nil
+}
+
+// seed inserts cfg.Rows rows into every table: ID = 1..Rows, every other
+// INT column mirroring the id (so child OWNER_IDs line up with parent
+// ids), VARCHARs a short tag. Runs with concolic recording off, exactly
+// like the model apps' seeding.
+func (a *App) seed() {
+	e := concolic.New(concolic.ModeOff)
+	s := orm.NewSession(a.mapping, concolic.NewConn(e, a.db))
+	err := s.Transactional(func() error {
+		for _, t := range a.scm.Tables() {
+			for i := 1; i <= a.cfg.Rows; i++ {
+				en := s.NewEntity(t.Name)
+				for _, c := range t.Columns {
+					switch c.Type {
+					case schema.Varchar:
+						s.Set(en, c.Name, concolic.Str(fmt.Sprintf("r%d", i)))
+					default:
+						s.Set(en, c.Name, concolic.Int(int64(i)))
+					}
+				}
+				s.Persist(en)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("appgen: seeding failed: %v", err))
+	}
+	for _, t := range a.scm.Tables() {
+		a.db.BumpID(t.Name, int64(a.cfg.Rows))
+	}
+}
+
+// Name returns the registry name, "gen:" + the canonical spec.
+func (a *App) Name() string { return "gen:" + a.spec }
+
+// Config returns the normalized generation config.
+func (a *App) Config() Config { return a.cfg }
+
+// Schema returns the generated schema.
+func (a *App) Schema() *schema.Schema { return a.scm }
+
+// DB returns the seeded database.
+func (a *App) DB() *minidb.DB { return a.db }
+
+// UnitTests returns one unit test per transaction template: fillers
+// first (generation order), then the planted anti-pattern templates.
+func (a *App) UnitTests() []appkit.UnitTest {
+	out := make([]appkit.UnitTest, 0, len(a.fillers)+2*len(a.planted))
+	for _, t := range a.fillers {
+		out = append(out, a.unitTest(t))
+	}
+	for i := range a.planted {
+		out = append(out, a.plantedTests(&a.planted[i], a.cfg.Rows)...)
+	}
+	return out
+}
+
+// Classify maps a diagnosed deadlock to the planted anti-pattern class
+// whose dedicated tables it cycles over, or "" for a cycle on filler
+// tables — which the generator's construction argues cannot be
+// satisfiable, so "" flags a generator bug.
+func (a *App) Classify(d *core.Deadlock) string {
+	if cl, ok := a.classOf[d.Cycle.Table1]; ok {
+		return cl
+	}
+	if cl, ok := a.classOf[d.Cycle.Table2]; ok {
+		return cl
+	}
+	return ""
+}
+
+// PlantedClasses lists the distinct planted classes in catalog order.
+func (a *App) PlantedClasses() []string {
+	var out []string
+	for _, cc := range a.cfg.Classes {
+		if cc.N > 0 {
+			out = append(out, cc.Class)
+		}
+	}
+	return out
+}
+
+// Manifest renders the generated application deterministically: spec,
+// module layout, planted instances, and every template with its ops.
+// Byte-equality of manifests is the determinism contract tested by the
+// suite and relied on by the scale bench.
+func (a *App) Manifest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "appgen %s\n", a.Name())
+	fmt.Fprintf(&b, "tables=%d templates=%d planted=%d\n",
+		len(a.scm.Tables()), len(a.fillers), len(a.planted))
+	for _, m := range a.mods {
+		fmt.Fprintf(&b, "module %s hub=%s reads=%s ins=%s\n",
+			m.Name, m.Hub, strings.Join(m.Reads, "+"), strings.Join(m.Ins, "+"))
+	}
+	for _, inst := range a.planted {
+		fmt.Fprintf(&b, "planted %s#%d tables=%s templates=%s\n",
+			inst.Class, inst.Idx, strings.Join(inst.Tables, "+"), strings.Join(inst.Names, "+"))
+	}
+	for _, t := range a.fillers {
+		t.render(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,379 @@
+package appgen
+
+import (
+	"fmt"
+	"strings"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/orm"
+	"weseer/internal/schema"
+)
+
+// plantedInstance is one planted anti-pattern: its class, its dedicated
+// tables (never shared with fillers or other instances, so its conflict
+// edges stay self-contained and classification is a table lookup), and
+// the transaction templates that exhibit it.
+type plantedInstance struct {
+	Class  string
+	Idx    int
+	Tables []string
+	Names  []string // template names, for the manifest
+}
+
+// plant appends the schema tables for one instance of class cl and
+// returns its metadata; buildPlantedTests later compiles the matching
+// unit tests. Each planted shape is the *unfixed* variant of the paper's
+// corresponding fix class:
+//
+//	f1  Merge on an absent key (SELECT gap lock, then INSERT)       — d1
+//	f2  check-then-insert of an app-level lock row                  — d2
+//	f3  range SELECT on a child index, then Persist a child         — d3
+//	f4  write-behind UPDATE reordering vs an eager updater          — d5/d6
+//	f5  parent point read + range-SELECT-then-Persist child         — d7
+//	f6  two children scanned then persisted in reverse order        — d8
+//	f7  emptiness-checked scan-then-insert                          — d10
+//	f8  range scan + buffered UPDATE + Persist into one table       — d11
+//	f9  shared read upgraded to exclusive UPDATE of the same row    — d14
+//	f10 two UPDATEs at unordered symbolic rows                      — d17
+//	f11 two-row reader racing a two-row updater                     — d18
+func plant(s *schema.Schema, cl string, idx int) plantedInstance {
+	p := fmt.Sprintf("%sx%d", strings.ToUpper(cl), idx)
+	inst := plantedInstance{Class: cl, Idx: idx}
+	kv := func(name string, cols ...string) string {
+		t := s.AddTable(name).Col("ID", schema.Int)
+		for _, c := range cols {
+			t.Col(c, schema.Int)
+		}
+		t.PrimaryKey("ID")
+		inst.Tables = append(inst.Tables, name)
+		return name
+	}
+	child := func(name string) string {
+		s.AddTable(name).
+			Col("ID", schema.Int).
+			Col("OWNER_ID", schema.Int).
+			Col("AMOUNT", schema.Int).
+			PrimaryKey("ID").
+			Index("idx_"+name+"_owner", "OWNER_ID")
+		inst.Tables = append(inst.Tables, name)
+		return name
+	}
+	switch cl {
+	case "f1":
+		kv(p+"Reg", "VAL")
+	case "f2":
+		kv(p+"Lock", "LOCKED")
+	case "f3", "f7":
+		child(p + "Item")
+	case "f4":
+		kv(p+"Offer", "USES")
+		kv(p+"Stat", "VIEWS")
+	case "f5":
+		kv(p+"Head", "TOTAL")
+		child(p + "Line")
+	case "f6":
+		child(p + "Adj")
+		child(p + "Det")
+	case "f8":
+		child(p + "Fee")
+	case "f9":
+		kv(p+"Prod", "QTY")
+	case "f10":
+		kv(p+"Inv", "QTY")
+	case "f11":
+		kv(p+"Cat", "QTY")
+	default:
+		panic("appgen: unknown class " + cl)
+	}
+	inst.Names = plantedNames(cl, p)
+	return inst
+}
+
+// plantedNames lists the template names plantedTests will emit, so the
+// manifest can be rendered without building the unit tests.
+func plantedNames(cl, p string) []string {
+	switch cl {
+	case "f1":
+		return []string{p + "Merge"}
+	case "f2":
+		return []string{p + "Acquire"}
+	case "f3":
+		return []string{p + "AddItem"}
+	case "f4":
+		return []string{p + "Buffered", p + "Eager"}
+	case "f5":
+		return []string{p + "Quote"}
+	case "f6":
+		return []string{p + "Reprice"}
+	case "f7":
+		return []string{p + "Ensure"}
+	case "f8":
+		return []string{p + "Surcharge"}
+	case "f9":
+		return []string{p + "Reserve"}
+	case "f10":
+		return []string{p + "Commit"}
+	case "f11":
+		return []string{p + "Scan", p + "Update"}
+	}
+	panic("appgen: unknown class " + cl)
+}
+
+// plantedTests compiles the unit tests for one planted instance. rows is
+// cfg.Rows: seeded ids are 1..rows (with OWNER_ID = ID on child tables),
+// so "present" inputs stay within [1,rows] and "absent" inputs start at
+// rows+1.
+func (a *App) plantedTests(inst *plantedInstance, rows int) []appkit.UnitTest {
+	p := fmt.Sprintf("%sx%d", strings.ToUpper(inst.Class), inst.Idx)
+	sess := func(e *concolic.Engine) *orm.Session {
+		return orm.NewSession(a.mapping, concolic.NewConn(e, a.db))
+	}
+	sym := func(e *concolic.Engine, tmpl, name string, v int64) concolic.Value {
+		return e.MakeSymbolic(tmpl+"."+name, concolic.Int(v))
+	}
+	one := func(name string, run func(e *concolic.Engine) error) []appkit.UnitTest {
+		return []appkit.UnitTest{{Name: name, Run: run}}
+	}
+	absent := int64(rows + 1)
+
+	switch inst.Class {
+	case "f1":
+		// Merge on an absent key: the point SELECT range-locks the gap,
+		// the flush INSERT then collides with a peer's gap lock.
+		tab := inst.Tables[0]
+		return one(p+"Merge", func(e *concolic.Engine) error {
+			s := sess(e)
+			id := sym(e, p+"Merge", "id", absent)
+			return s.Transactional(func() error {
+				en := s.NewEntity(tab)
+				s.Set(en, "ID", id)
+				s.Set(en, "VAL", concolic.Int(1))
+				s.Merge(en)
+				return nil
+			})
+		})
+	case "f2":
+		// Check-then-insert: existence SELECT on the absent lock row,
+		// then a buffered INSERT of it.
+		tab := inst.Tables[0]
+		return one(p+"Acquire", func(e *concolic.Engine) error {
+			s := sess(e)
+			id := sym(e, p+"Acquire", "id", absent)
+			return s.Transactional(func() error {
+				locks := s.Query(fmt.Sprintf(`SELECT * FROM %s l WHERE l.ID = ?`, tab),
+					[]concolic.Value{id}, "l")
+				if len(locks) == 0 {
+					en := s.NewEntity(tab)
+					s.Set(en, "ID", id)
+					s.Set(en, "LOCKED", concolic.Int(1))
+					s.Persist(en)
+				} else {
+					s.Set(locks[0], "LOCKED", concolic.Int(1))
+				}
+				return nil
+			})
+		})
+	case "f3":
+		// Range SELECT over the owner index, then Persist a new child
+		// under the same owner.
+		tab := inst.Tables[0]
+		return one(p+"AddItem", func(e *concolic.Engine) error {
+			s := sess(e)
+			owner := sym(e, p+"AddItem", "owner", int64(1+inst.Idx%rows))
+			return s.Transactional(func() error {
+				s.Query(fmt.Sprintf(`SELECT * FROM %s c WHERE c.OWNER_ID = ?`, tab),
+					[]concolic.Value{owner}, "c")
+				en := s.NewEntity(tab)
+				s.Set(en, "ID", concolic.Int(a.db.NextID(tab)))
+				s.Set(en, "OWNER_ID", owner)
+				s.Set(en, "AMOUNT", concolic.Int(1))
+				s.Persist(en)
+				return nil
+			})
+		})
+	case "f4":
+		// Write-behind reordering: the buffered path touches Offer
+		// before Stat but flushes Stat's UPDATE first (first-modification
+		// order); the eager path updates Offer then Stat directly.
+		offer, stat := inst.Tables[0], inst.Tables[1]
+		buf := appkit.UnitTest{Name: p + "Buffered", Run: func(e *concolic.Engine) error {
+			s := sess(e)
+			o := s.Find(offer, sym(e, p+"Buffered", "offer", 1))
+			st := s.Find(stat, sym(e, p+"Buffered", "stat", 2))
+			return s.Transactional(func() error {
+				s.Set(st, "VIEWS", e.Add(st.Get("VIEWS"), concolic.Int(1)))
+				s.Set(o, "USES", e.Add(o.Get("USES"), concolic.Int(1)))
+				return nil
+			})
+		}}
+		eager := appkit.UnitTest{Name: p + "Eager", Run: func(e *concolic.Engine) error {
+			s := sess(e)
+			oid := sym(e, p+"Eager", "offer", 1)
+			sid := sym(e, p+"Eager", "stat", 2)
+			return s.Transactional(func() error {
+				if _, err := s.Exec(fmt.Sprintf(`UPDATE %s SET USES = ? WHERE ID = ?`, offer),
+					[]concolic.Value{concolic.Int(7), oid}); err != nil {
+					return err
+				}
+				_, err := s.Exec(fmt.Sprintf(`UPDATE %s SET VIEWS = ? WHERE ID = ?`, stat),
+					[]concolic.Value{concolic.Int(7), sid})
+				return err
+			})
+		}}
+		return []appkit.UnitTest{buf, eager}
+	case "f5":
+		// Parent point read (shared lock) followed by a child
+		// range-scan-then-Persist under the parent's id.
+		head, line := inst.Tables[0], inst.Tables[1]
+		return one(p+"Quote", func(e *concolic.Engine) error {
+			s := sess(e)
+			id := sym(e, p+"Quote", "head", int64(1+inst.Idx%rows))
+			return s.Transactional(func() error {
+				s.Query(fmt.Sprintf(`SELECT * FROM %s h WHERE h.ID = ?`, head),
+					[]concolic.Value{id}, "h")
+				s.Query(fmt.Sprintf(`SELECT * FROM %s l WHERE l.OWNER_ID = ?`, line),
+					[]concolic.Value{id}, "l")
+				en := s.NewEntity(line)
+				s.Set(en, "ID", concolic.Int(a.db.NextID(line)))
+				s.Set(en, "OWNER_ID", id)
+				s.Set(en, "AMOUNT", concolic.Int(2))
+				s.Persist(en)
+				return nil
+			})
+		})
+	case "f6":
+		// Two children scanned Adj→Det but persisted Det→Adj: the flush
+		// order crosses the scan order between the two tables.
+		adj, det := inst.Tables[0], inst.Tables[1]
+		return one(p+"Reprice", func(e *concolic.Engine) error {
+			s := sess(e)
+			owner := sym(e, p+"Reprice", "owner", int64(1+inst.Idx%rows))
+			return s.Transactional(func() error {
+				s.Query(fmt.Sprintf(`SELECT * FROM %s a WHERE a.OWNER_ID = ?`, adj),
+					[]concolic.Value{owner}, "a")
+				s.Query(fmt.Sprintf(`SELECT * FROM %s d WHERE d.OWNER_ID = ?`, det),
+					[]concolic.Value{owner}, "d")
+				for _, tab := range []string{det, adj} {
+					en := s.NewEntity(tab)
+					s.Set(en, "ID", concolic.Int(a.db.NextID(tab)))
+					s.Set(en, "OWNER_ID", owner)
+					s.Set(en, "AMOUNT", concolic.Int(3))
+					s.Persist(en)
+				}
+				return nil
+			})
+		})
+	case "f7":
+		// Scan-then-insert guarded by emptiness: the concrete owner has
+		// no rows, so the INSERT follows the empty range's gap lock.
+		tab := inst.Tables[0]
+		return one(p+"Ensure", func(e *concolic.Engine) error {
+			s := sess(e)
+			owner := sym(e, p+"Ensure", "owner", absent)
+			return s.Transactional(func() error {
+				got := s.Query(fmt.Sprintf(`SELECT * FROM %s c WHERE c.OWNER_ID = ?`, tab),
+					[]concolic.Value{owner}, "c")
+				if len(got) == 0 {
+					en := s.NewEntity(tab)
+					s.Set(en, "ID", concolic.Int(a.db.NextID(tab)))
+					s.Set(en, "OWNER_ID", owner)
+					s.Set(en, "AMOUNT", concolic.Int(4))
+					s.Persist(en)
+				}
+				return nil
+			})
+		})
+	case "f8":
+		// Range scan, buffered UPDATE of a found row, and a Persist into
+		// the same table: INSERT-before-UPDATE flush order vs the scan's
+		// shared range lock.
+		tab := inst.Tables[0]
+		return one(p+"Surcharge", func(e *concolic.Engine) error {
+			s := sess(e)
+			owner := sym(e, p+"Surcharge", "owner", int64(1+inst.Idx%rows))
+			return s.Transactional(func() error {
+				got := s.Query(fmt.Sprintf(`SELECT * FROM %s f WHERE f.OWNER_ID = ?`, tab),
+					[]concolic.Value{owner}, "f")
+				for _, en := range got {
+					s.Set(en, "AMOUNT", e.Add(en.Get("AMOUNT"), concolic.Int(1)))
+				}
+				en := s.NewEntity(tab)
+				s.Set(en, "ID", concolic.Int(a.db.NextID(tab)))
+				s.Set(en, "OWNER_ID", owner)
+				s.Set(en, "AMOUNT", concolic.Int(5))
+				s.Persist(en)
+				return nil
+			})
+		})
+	case "f9":
+		// Read-modify-write lock upgrade: shared point SELECT, then an
+		// exclusive UPDATE of the same symbolic row.
+		tab := inst.Tables[0]
+		return one(p+"Reserve", func(e *concolic.Engine) error {
+			s := sess(e)
+			id := sym(e, p+"Reserve", "id", int64(1+inst.Idx%rows))
+			return s.Transactional(func() error {
+				got := s.Query(fmt.Sprintf(`SELECT * FROM %s t WHERE t.ID = ?`, tab),
+					[]concolic.Value{id}, "t")
+				qty := concolic.Int(9)
+				if len(got) > 0 {
+					qty = e.Sub(got[0].Get("QTY"), concolic.Int(1))
+				}
+				_, err := s.Exec(fmt.Sprintf(`UPDATE %s SET QTY = ? WHERE ID = ?`, tab),
+					[]concolic.Value{qty, id})
+				return err
+			})
+		})
+	case "f10":
+		// Two exclusive UPDATEs at unconstrained symbolic rows — the
+		// inconsistent-order anti-pattern (no lo<hi discipline, unlike
+		// the filler hubs).
+		tab := inst.Tables[0]
+		return one(p+"Commit", func(e *concolic.Engine) error {
+			s := sess(e)
+			x := sym(e, p+"Commit", "x", 1)
+			y := sym(e, p+"Commit", "y", 2)
+			return s.Transactional(func() error {
+				for _, id := range []concolic.Value{x, y} {
+					if _, err := s.Exec(fmt.Sprintf(`UPDATE %s SET QTY = ? WHERE ID = ?`, tab),
+						[]concolic.Value{concolic.Int(6), id}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	case "f11":
+		// A two-row reader racing a two-row updater over the same table.
+		tab := inst.Tables[0]
+		scan := appkit.UnitTest{Name: p + "Scan", Run: func(e *concolic.Engine) error {
+			s := sess(e)
+			x := sym(e, p+"Scan", "x", 1)
+			y := sym(e, p+"Scan", "y", 2)
+			return s.Transactional(func() error {
+				for _, id := range []concolic.Value{x, y} {
+					s.Query(fmt.Sprintf(`SELECT * FROM %s t WHERE t.ID = ?`, tab),
+						[]concolic.Value{id}, "t")
+				}
+				return nil
+			})
+		}}
+		upd := appkit.UnitTest{Name: p + "Update", Run: func(e *concolic.Engine) error {
+			s := sess(e)
+			x := sym(e, p+"Update", "x", 1)
+			y := sym(e, p+"Update", "y", 2)
+			return s.Transactional(func() error {
+				for _, id := range []concolic.Value{x, y} {
+					if _, err := s.Exec(fmt.Sprintf(`UPDATE %s SET QTY = ? WHERE ID = ?`, tab),
+						[]concolic.Value{concolic.Int(8), id}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}}
+		return []appkit.UnitTest{scan, upd}
+	}
+	panic("appgen: unknown class " + inst.Class)
+}

@@ -1,0 +1,194 @@
+package appgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Classes is the paper's application-side anti-pattern catalog (the fix
+// ids f1–f11 of Table II). Each class names one ORM misuse the generator
+// can plant; the planted instance is the *unfixed* shape, so the
+// diagnosis pipeline should rediscover it.
+var Classes = []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11"}
+
+// ClassCount sets how many independent instances of one anti-pattern
+// class the corpus plants. Instances never share tables, so counts scale
+// the workload without coupling the planted deadlocks to each other.
+type ClassCount struct {
+	Class string `json:"class"`
+	N     int    `json:"n"`
+}
+
+// Config parameterizes one generated application. The zero value of any
+// field means "use the default"; Normalize resolves defaults, so two
+// Configs that normalize equal generate byte-identical corpora.
+type Config struct {
+	// Seed drives every random choice. Same seed, same corpus.
+	Seed int64 `json:"seed"`
+	// Templates is the number of filler transaction templates (planted
+	// anti-pattern instances add their own on top).
+	Templates int `json:"templates"`
+	// Modules is the number of contention clusters. Filler templates only
+	// touch tables of their own module, which bounds the surviving
+	// phase-1 pairs the way bounded-context schemas do in real apps.
+	Modules int `json:"modules"`
+	// TablesPerModule is the filler table count per module: one hot "hub"
+	// table plus read-only and insert-only satellites.
+	TablesPerModule int `json:"tables_per_module"`
+	// Rows seeds this many rows into every generated table.
+	Rows int `json:"rows"`
+	// HotPct is the percentage of filler templates that update their
+	// module's hub table — the contention hot-spot skew knob.
+	HotPct int `json:"hot_pct"`
+	// Nest is the conditional-nesting depth of filler templates: each
+	// level adds one input-dependent branch (and so one path condition).
+	Nest int `json:"nest"`
+	// Classes is the planted anti-pattern distribution. nil means one
+	// instance of every class; an empty non-nil slice means none.
+	Classes []ClassCount `json:"classes"`
+}
+
+// Normalize resolves defaults and orders Classes canonically.
+func (c Config) Normalize() Config {
+	if c.Templates == 0 {
+		c.Templates = 96
+	}
+	if c.Modules == 0 {
+		c.Modules = max(1, c.Templates/12)
+	}
+	if c.TablesPerModule == 0 {
+		c.TablesPerModule = 5
+	}
+	if c.Rows == 0 {
+		c.Rows = 8
+	}
+	if c.Rows < 2 {
+		c.Rows = 2 // planted f4 needs rows 1 and 2 seeded
+	}
+	if c.HotPct == 0 {
+		c.HotPct = 70
+	}
+	if c.Nest == 0 {
+		c.Nest = 2
+	}
+	if c.Classes == nil {
+		for _, cl := range Classes {
+			c.Classes = append(c.Classes, ClassCount{Class: cl, N: 1})
+		}
+	}
+	sort.SliceStable(c.Classes, func(i, j int) bool {
+		return classOrd(c.Classes[i].Class) < classOrd(c.Classes[j].Class)
+	})
+	return c
+}
+
+func classOrd(cl string) int {
+	for i, known := range Classes {
+		if known == cl {
+			return i
+		}
+	}
+	return len(Classes)
+}
+
+// Spec renders the canonical spec string: the part after "gen:" in the
+// registry name. ParseSpec(c.Spec()) round-trips to the same normalized
+// config, so a corpus is reproducible from its name alone.
+func (c Config) Spec() string {
+	c = c.Normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d,templates=%d,modules=%d,tables=%d,rows=%d,hot=%d,nest=%d",
+		c.Seed, c.Templates, c.Modules, c.TablesPerModule, c.Rows, c.HotPct, c.Nest)
+	b.WriteString(",classes=")
+	if len(c.Classes) == 0 {
+		b.WriteString("none")
+		return b.String()
+	}
+	for i, cc := range c.Classes {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%s:%d", cc.Class, cc.N)
+	}
+	return b.String()
+}
+
+// ParseSpec parses "<seed>[,key=value...]" — the registry argument of
+// "gen:<seed>[,templates=N,...]". Keys: templates, modules, tables
+// (per module), rows, hot, nest, classes (e.g. "f1:2+f9:1", "all",
+// "none").
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	parts := strings.Split(spec, ",")
+	if len(parts) == 0 || strings.TrimSpace(parts[0]) == "" {
+		return c, fmt.Errorf("appgen: empty spec (want \"<seed>[,templates=N,...]\")")
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return c, fmt.Errorf("appgen: bad seed %q: %v", parts[0], err)
+	}
+	c.Seed = seed
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if !ok {
+			return c, fmt.Errorf("appgen: bad option %q (want key=value)", p)
+		}
+		if k == "classes" {
+			cs, err := parseClasses(v)
+			if err != nil {
+				return c, err
+			}
+			c.Classes = cs
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return c, fmt.Errorf("appgen: bad value %q for %s", v, k)
+		}
+		switch k {
+		case "templates":
+			c.Templates = n
+		case "modules":
+			c.Modules = n
+		case "tables":
+			c.TablesPerModule = n
+		case "rows":
+			c.Rows = n
+		case "hot":
+			c.HotPct = n
+		case "nest":
+			c.Nest = n
+		default:
+			return c, fmt.Errorf("appgen: unknown option %q", k)
+		}
+	}
+	return c, nil
+}
+
+func parseClasses(v string) ([]ClassCount, error) {
+	switch v {
+	case "none":
+		return []ClassCount{}, nil
+	case "all", "":
+		return nil, nil // Normalize fills in one of each
+	}
+	var out []ClassCount
+	for _, item := range strings.Split(v, "+") {
+		cl, nStr, ok := strings.Cut(item, ":")
+		n := 1
+		if ok {
+			var err error
+			n, err = strconv.Atoi(nStr)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("appgen: bad class count %q", item)
+			}
+		}
+		if classOrd(cl) >= len(Classes) {
+			return nil, fmt.Errorf("appgen: unknown anti-pattern class %q (want f1..f11)", cl)
+		}
+		out = append(out, ClassCount{Class: cl, N: n})
+	}
+	return out, nil
+}

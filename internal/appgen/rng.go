@@ -1,0 +1,42 @@
+package appgen
+
+// rng is a self-contained splitmix64 generator. The generator's whole
+// contract is "same seed ⇒ byte-identical corpus forever", so it cannot
+// depend on math/rand's stream (which the Go team reserves the right to
+// change between releases, and did in Go 1.20).
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{state: uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform value in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// pct reports true with probability p percent.
+func (r *rng) pct(p int) bool {
+	return r.intn(100) < p
+}

@@ -1,0 +1,92 @@
+package appgen
+
+import (
+	"fmt"
+
+	"weseer/internal/schema"
+)
+
+// Noun pools give generated tables application-shaped names ("Cart07",
+// "Price07A", "Audit07B") instead of opaque T123 identifiers, so vet
+// findings and deadlock reports over generated corpora read like the
+// model apps' output.
+var (
+	hubNouns = []string{
+		"Account", "Cart", "Order", "Ledger", "Inventory", "Profile",
+		"Ticket", "Invoice", "Shipment", "Wallet", "Listing", "Booking",
+		"Campaign", "Subscription", "Payout", "Quota",
+	}
+	readNouns = []string{
+		"Catalog", "Price", "Region", "Tax", "Plan", "Sku", "Rate",
+		"Zone", "Tier", "Rule",
+	}
+	insNouns = []string{
+		"Event", "Audit", "Note", "Receipt", "Message", "Journal",
+		"Alert", "History", "Entry", "Claim",
+	}
+)
+
+// module is one contention cluster of the generated app: a hot hub table
+// every writer template updates, read-only reference satellites, and
+// append-only log satellites. Filler templates never reach outside their
+// module, mirroring how bounded contexts keep real schemas from being
+// one giant conflict clique.
+type module struct {
+	Name  string   // display name, e.g. "Cart07"
+	Hub   string   // hot table: ordered-pair row updates
+	Reads []string // read-only satellites (point + range SELECTs)
+	Ins   []string // insert-only satellites (immediate INSERTs)
+}
+
+// buildModules appends the filler-module tables for cfg to s and returns
+// the module layout. Consumes r; call order is part of the deterministic
+// stream.
+func buildModules(cfg Config, r *rng, s *schema.Schema) []module {
+	mods := make([]module, cfg.Modules)
+	for m := range mods {
+		hub := fmt.Sprintf("%s%02d", hubNouns[r.intn(len(hubNouns))], m)
+		s.AddTable(hub).
+			Col("ID", schema.Int).
+			Col("BALANCE", schema.Int).
+			Col("REGION_ID", schema.Int).
+			Col("STATE", schema.Varchar).
+			PrimaryKey("ID").
+			Index(fmt.Sprintf("idx_%s_region", hub), "REGION_ID")
+
+		mod := module{Name: hub, Hub: hub}
+		// Satellites split roughly evenly between read-only reference
+		// tables and insert-only log tables.
+		sats := cfg.TablesPerModule - 1
+		nReads := (sats + 1) / 2
+		readBase := r.intn(len(readNouns))
+		insBase := r.intn(len(insNouns))
+		for i := 0; i < sats; i++ {
+			suffix := string(rune('A' + i/2))
+			if i%2 == 0 && i/2 < nReads {
+				name := fmt.Sprintf("%s%02d%s", readNouns[(readBase+i/2)%len(readNouns)], m, suffix)
+				s.AddTable(name).
+					Col("ID", schema.Int).
+					Col("OWNER_ID", schema.Int).
+					Col("NAME", schema.Varchar).
+					Col("AMOUNT", schema.Decimal).
+					PrimaryKey("ID").
+					Index(fmt.Sprintf("idx_%s_owner", name), "OWNER_ID").
+					ForeignKey([]string{"OWNER_ID"}, hub, []string{"ID"})
+				mod.Reads = append(mod.Reads, name)
+			} else {
+				name := fmt.Sprintf("%s%02d%s", insNouns[(insBase+i/2)%len(insNouns)], m, suffix)
+				s.AddTable(name).
+					Col("ID", schema.Int).
+					Col("HUB_ID", schema.Int).
+					Col("SEQ", schema.Int).
+					Col("NOTE", schema.Varchar).
+					PrimaryKey("ID").
+					Index(fmt.Sprintf("idx_%s_hub", name), "HUB_ID").
+					ForeignKey([]string{"HUB_ID"}, hub, []string{"ID"})
+				mod.Ins = append(mod.Ins, name)
+			}
+		}
+		mods[m] = mod
+	}
+	return mods
+}

@@ -1,0 +1,236 @@
+package appgen
+
+import (
+	"fmt"
+	"strings"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/orm"
+)
+
+// opKind enumerates the statement shapes filler templates are built
+// from. Fillers are designed to be *inert*: they generate realistic lock
+// traffic, surviving phase-1 pairs, coarse cycles, and genuine solver
+// work — but every cycle formula they produce is unsatisfiable, so a
+// corpus's diagnosed deadlocks are exactly its planted anti-patterns.
+// The inertness argument, op by op:
+//
+//   - opPointRead / opRangeRead only touch read-only satellites, which no
+//     template ever writes; S–S lock pairs never conflict, so no C-edge
+//     can involve them.
+//   - opInsertRow inserts exactly one row per insert-only satellite per
+//     template, immediately (s.Exec, not Persist — a deferred flush
+//     would reorder the INSERT after the hub update and reopen cycles),
+//     with tables visited in one module-wide order. A crossing cycle
+//     needs the two transactions to visit two tables in opposite orders,
+//     which a consistent order makes impossible.
+//   - opOrderedPair is the contention hot spot: two UPDATEs on the
+//     module's hub at symbolic row ids, concretely swapped into
+//     ascending order and guarded by a strict lo < hi path condition.
+//     Any hub–hub crossing cycle therefore implies
+//     lo1 < hi1 = lo2 < hi2 = lo1 — a contradiction the solver must
+//     discover, i.e. real UNSAT work. The pair is always the template's
+//     last statement, so insert-vs-hub crossings would need a reversed
+//     program order that no template has.
+//   - opGuard adds input-dependent branching (path-condition depth)
+//     and, when its concrete branch fails, skips a suffix of the body —
+//     skipping preserves relative statement order, so the discipline
+//     above survives.
+type opKind uint8
+
+const (
+	opGuard       opKind = iota // if input[A] <= Thr, else skip next Skip ops
+	opPointRead                 // SELECT by primary key at input[A]
+	opRangeRead                 // SELECT via secondary index at input[A]
+	opInsertRow                 // immediate INSERT, fresh concrete id, HUB_ID=input[A]
+	opOrderedPair               // two hub UPDATEs at ascending ids input[A], input[B]
+)
+
+// op is one statement (or guard) of a template body.
+type op struct {
+	Kind  opKind
+	Table string
+	A, B  int   // input indexes
+	Thr   int64 // opGuard threshold
+	Skip  int   // opGuard: ops skipped when the branch fails
+}
+
+// input is one symbolic API input with its concrete unit-test value.
+type input struct {
+	Name string
+	Val  int64
+}
+
+// template is one generated transaction template: symbolic inputs, warm
+// statements that run before the transaction (auto-commit reads that
+// hydrate the ORM cache, as the model apps' APIs do), and the
+// transactional body.
+type template struct {
+	Name   string
+	Inputs []input
+	Warm   []op
+	Body   []op
+}
+
+var fillerVerbs = []string{
+	"Get", "List", "Sync", "Apply", "Post", "Refresh", "Settle",
+	"Reconcile", "Submit", "Renew", "Review", "Close",
+}
+
+// buildTemplates generates the cfg.Templates filler templates over the
+// module layout. Templates round-robin across modules so every hub sees
+// contention.
+func buildTemplates(cfg Config, r *rng, mods []module) []template {
+	out := make([]template, 0, cfg.Templates)
+	for k := 0; k < cfg.Templates; k++ {
+		mod := mods[k%len(mods)]
+		t := template{
+			Name: fmt.Sprintf("%s%s_%d", fillerVerbs[r.intn(len(fillerVerbs))], mod.Name, k),
+		}
+		// Inputs: two hub row ids (the ordered-pair endpoints; distinct
+		// concrete values so the pair update really executes) plus one
+		// owner id for satellite lookups.
+		a := int64(r.rangeInt(1, cfg.Rows))
+		b := int64(r.rangeInt(1, cfg.Rows))
+		if a == b {
+			b = a%int64(cfg.Rows) + 1
+		}
+		t.Inputs = []input{
+			{Name: "row_a", Val: a},
+			{Name: "row_b", Val: b},
+			{Name: "owner", Val: int64(r.rangeInt(1, cfg.Rows))},
+		}
+
+		// Warm phase: 0–2 reference reads outside the transaction.
+		for i, n := 0, r.intn(3); i < n && len(mod.Reads) > 0; i++ {
+			t.Warm = append(t.Warm, op{Kind: opPointRead, Table: mod.Reads[r.intn(len(mod.Reads))], A: 2})
+		}
+
+		// Body: reads, then ordered inserts, then (for hot templates)
+		// the hub pair update.
+		var body []op
+		for i, n := 0, r.rangeInt(1, 2); i < n && len(mod.Reads) > 0; i++ {
+			kind := opPointRead
+			if r.pct(50) {
+				kind = opRangeRead
+			}
+			body = append(body, op{Kind: kind, Table: mod.Reads[r.intn(len(mod.Reads))], A: r.intn(3)})
+		}
+		for i, tab := range mod.Ins {
+			// Subset of insert satellites, module order preserved.
+			if r.pct(70) {
+				body = append(body, op{Kind: opInsertRow, Table: tab, A: i % 2})
+			}
+		}
+		if r.pct(cfg.HotPct) {
+			body = append(body, op{Kind: opOrderedPair, Table: mod.Hub, A: 0, B: 1})
+		}
+		// Nesting: wrap suffixes of the body in input guards, innermost
+		// first, so depth-d templates carry d extra path conditions.
+		for d := 0; d < cfg.Nest; d++ {
+			at := r.intn(len(body) + 1)
+			thr := int64(cfg.Rows + 1) // concretely true: inputs are <= Rows
+			if r.pct(15) {
+				thr = 0 // concretely false: this suffix is dead on this path
+			}
+			g := op{Kind: opGuard, A: r.intn(3), Thr: thr, Skip: len(body) - at}
+			body = append(body[:at:at], append([]op{g}, body[at:]...)...)
+		}
+		t.Body = body
+		out = append(out, t)
+	}
+	return out
+}
+
+// unitTest compiles a template into the appkit.UnitTest surface the
+// pipeline consumes.
+func (a *App) unitTest(t template) appkit.UnitTest {
+	return appkit.UnitTest{Name: t.Name, Run: func(e *concolic.Engine) error {
+		s := orm.NewSession(a.mapping, concolic.NewConn(e, a.db))
+		in := make([]concolic.Value, len(t.Inputs))
+		for i, inp := range t.Inputs {
+			in[i] = e.MakeSymbolic(t.Name+"."+inp.Name, concolic.Int(inp.Val))
+		}
+		if err := a.runOps(e, s, t.Warm, in); err != nil {
+			return err
+		}
+		return s.Transactional(func() error {
+			return a.runOps(e, s, t.Body, in)
+		})
+	}}
+}
+
+func (a *App) runOps(e *concolic.Engine, s *orm.Session, ops []op, in []concolic.Value) error {
+	for i := 0; i < len(ops); i++ {
+		o := ops[i]
+		switch o.Kind {
+		case opGuard:
+			if !e.If(e.Le(in[o.A], concolic.Int(o.Thr))) {
+				i += o.Skip
+			}
+		case opPointRead:
+			s.Query(fmt.Sprintf(`SELECT * FROM %s t WHERE t.ID = ?`, o.Table),
+				[]concolic.Value{in[o.A]}, "t")
+		case opRangeRead:
+			s.Query(fmt.Sprintf(`SELECT * FROM %s t WHERE t.OWNER_ID = ?`, o.Table),
+				[]concolic.Value{in[o.A]}, "t")
+		case opInsertRow:
+			id := a.db.NextID(o.Table)
+			if _, err := s.Exec(
+				fmt.Sprintf(`INSERT INTO %s (ID, HUB_ID, SEQ, NOTE) VALUES (?, ?, ?, ?)`, o.Table),
+				[]concolic.Value{concolic.Int(id), in[o.A], concolic.Int(id), concolic.Str("gen")}); err != nil {
+				return err
+			}
+		case opOrderedPair:
+			lo, hi := in[o.A], in[o.B]
+			if !e.If(e.Lt(lo, hi)) {
+				lo, hi = hi, lo
+			}
+			// Strict lo < hi path condition: a self- or cross-pair
+			// crossing cycle then implies lo1<hi1=lo2<hi2=lo1, UNSAT.
+			if e.If(e.Lt(lo, hi)) {
+				bump := e.Add(lo, concolic.Int(1))
+				for _, id := range []concolic.Value{lo, hi} {
+					if _, err := s.Exec(
+						fmt.Sprintf(`UPDATE %s SET BALANCE = ? WHERE ID = ?`, o.Table),
+						[]concolic.Value{bump, id}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// render writes the template's deterministic manifest form.
+func (t template) render(b *strings.Builder) {
+	fmt.Fprintf(b, "template %s inputs=[", t.Name)
+	for i, in := range t.Inputs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%s=%d", in.Name, in.Val)
+	}
+	b.WriteString("]\n")
+	renderOps(b, "  warm", t.Warm)
+	renderOps(b, "  body", t.Body)
+}
+
+func renderOps(b *strings.Builder, label string, ops []op) {
+	for _, o := range ops {
+		switch o.Kind {
+		case opGuard:
+			fmt.Fprintf(b, "%s guard in%d<=%d skip=%d\n", label, o.A, o.Thr, o.Skip)
+		case opPointRead:
+			fmt.Fprintf(b, "%s point-read %s id=in%d\n", label, o.Table, o.A)
+		case opRangeRead:
+			fmt.Fprintf(b, "%s range-read %s owner=in%d\n", label, o.Table, o.A)
+		case opInsertRow:
+			fmt.Fprintf(b, "%s insert %s hub=in%d\n", label, o.Table, o.A)
+		case opOrderedPair:
+			fmt.Fprintf(b, "%s ordered-pair %s ids=in%d,in%d\n", label, o.Table, o.A, o.B)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package apps
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"broadleaf", "gen", "shopizer"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("registry is missing %q (have %v)", want, names)
+		}
+	}
+	usage := Usage("  ")
+	for _, n := range names {
+		if !strings.Contains(usage, n) {
+			t.Errorf("Usage() does not mention %q:\n%s", n, usage)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		opt  Options
+	}{
+		{spec: "nosuchapp"},
+		{spec: "broadleaf:extra"},
+		{spec: "gen:notanumber"},
+		{spec: "gen:1", opt: Options{Fixed: true}},
+	}
+	for _, c := range cases {
+		if _, err := Open(c.spec, c.opt); err == nil {
+			t.Errorf("Open(%q, %+v): expected error", c.spec, c.opt)
+		}
+	}
+}
+
+func TestOpenModelAppsAndSourcer(t *testing.T) {
+	for _, name := range []string{"broadleaf", "shopizer"} {
+		app, err := Open(name, Options{})
+		if err != nil {
+			t.Fatalf("Open(%s): %v", name, err)
+		}
+		if app.Name() != name {
+			t.Errorf("Name() = %q, want %q", app.Name(), name)
+		}
+		if app.Schema() == nil || app.DB() == nil || len(app.UnitTests()) == 0 {
+			t.Errorf("%s: incomplete App surface", name)
+		}
+		src, ok := app.(Sourcer)
+		if !ok {
+			t.Fatalf("%s: model app should implement Sourcer", name)
+		}
+		if want := filepath.Join("internal", "apps", name); src.SourceDir() != want {
+			t.Errorf("%s: SourceDir() = %q, want %q", name, src.SourceDir(), want)
+		}
+	}
+	gen, err := Open("gen:3,templates=4,modules=1,tables=3,rows=4,nest=1,classes=none", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := gen.(Sourcer); ok {
+		t.Error("generated apps have no source directory; gen must not implement Sourcer")
+	}
+	if !strings.HasPrefix(gen.Name(), "gen:3,") {
+		t.Errorf("gen Name() = %q", gen.Name())
+	}
+}
+
+// repoRoot locates the repository root from this file's path, so
+// absolute trigger-frame paths in rendered reports normalize to
+// repo-relative form regardless of checkout location.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", ".."))
+}
+
+// renderApp reproduces the pre-refactor report rendering the goldens
+// were captured with: timing-free funnel, sorted per-class counts, and
+// each deadlock's full rendered form.
+func renderApp(t *testing.T, app App) string {
+	t.Helper()
+	traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewAnalyzer(app.Schema()).Analyze(traces)
+	var b strings.Builder
+	fmt.Fprintf(&b, "funnel: %+v\n", res.Stats.WithoutTimings())
+	counts := map[string]int{}
+	for _, d := range res.Deadlocks {
+		counts[app.Classify(d)]++
+	}
+	var ids []string
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "class %q: %d report(s)\n", id, counts[id])
+	}
+	for i, d := range res.Deadlocks {
+		fmt.Fprintf(&b, "--- deadlock %d class=%q\n%s", i+1, app.Classify(d), d.Render())
+	}
+	return strings.ReplaceAll(b.String(), repoRoot(t)+"/", "")
+}
+
+// TestTableIIGoldens pins the registry-opened model apps to the reports
+// captured before the registry existed: the refactor must be
+// byte-neutral for Table II.
+func TestTableIIGoldens(t *testing.T) {
+	for _, name := range []string{"broadleaf", "shopizer"} {
+		t.Run(name, func(t *testing.T) {
+			app, err := Open(name, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderApp(t, app)
+			goldenPath := filepath.Join("testdata", "golden_"+name+".txt")
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				gotPath := filepath.Join(t.TempDir(), "got.txt")
+				os.WriteFile(gotPath, []byte(got), 0o644)
+				t.Errorf("report differs from %s (got: %s)", goldenPath, gotPath)
+			}
+		})
+	}
+}
+
+// TestTableIIInvariants guards the headline funnel numbers: the 18/18
+// catalog coverage and the 326 = 226+100 group-discharge split across
+// both model apps.
+func TestTableIIInvariants(t *testing.T) {
+	classes := map[string]bool{}
+	groups, calls, memo := 0, 0, 0
+	for _, name := range []string{"broadleaf", "shopizer"} {
+		app, err := Open(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.NewAnalyzer(app.Schema()).Analyze(traces)
+		for _, d := range res.Deadlocks {
+			if id := app.Classify(d); strings.HasPrefix(id, "d") {
+				classes[id] = true
+			}
+		}
+		groups += res.Stats.GroupsSolved
+		calls += res.Stats.SolverCalls
+		memo += res.Stats.MemoHits
+	}
+	if len(classes) != 18 {
+		t.Errorf("Table II catalog coverage = %d/18 classes", len(classes))
+	}
+	if groups != 326 {
+		t.Errorf("group discharges = %d, want 326", groups)
+	}
+	if calls+memo != groups {
+		t.Errorf("solver calls (%d) + memo hits (%d) != groups (%d)", calls, memo, groups)
+	}
+	if memo != 100 {
+		t.Errorf("memo hits = %d, want 100", memo)
+	}
+}

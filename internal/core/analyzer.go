@@ -216,12 +216,22 @@ func (a *Analyzer) finishObs(o *obs.Observer, spAnalyze obs.Span, res *Result, e
 // dedup key are collected into one chain, preserving global enumeration
 // order both across chains and within each chain.
 func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Result) ([]*chain, error) {
-	// Pre-rename each trace once per role.
+	// Pre-rename each trace once per role, and compute each renamed
+	// transaction's table signature once: phase 1 probes every pair, so
+	// rebuilding the accessed/written maps per probe is quadratic in
+	// corpus size.
 	inst1 := make([]*trace.Trace, len(traces))
 	inst2 := make([]*trace.Trace, len(traces))
+	sigs := map[*trace.Txn]txnSig{}
 	for i, tr := range traces {
 		inst1[i] = tr.Rename("A1.")
 		inst2[i] = tr.Rename("A2.")
+		for _, in := range []*trace.Trace{inst1[i], inst2[i]} {
+			for _, txn := range in.Txns {
+				acc, wr := txn.Tables()
+				sigs[txn] = txnSig{acc: acc, wr: wr}
+			}
+		}
 	}
 
 	byKey := map[string]*chain{}
@@ -244,10 +254,8 @@ func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Re
 					if err := ctx.Err(); err != nil {
 						return chains, err
 					}
-					p1 := &instance{API: traces[i].API, Prefix: "A1.", Txn: t1, Trace: inst1[i]}
-					p2 := &instance{API: traces[j].API, Prefix: "A2.", Txn: t2, Trace: inst2[j]}
 					res.Stats.Pairs++
-					if !a.opts.SkipPhase1 && !txnLevelConflict(t1, t2) {
+					if !a.opts.SkipPhase1 && !sigs[t1].conflicts(sigs[t2]) {
 						continue
 					}
 					res.Stats.PairsAfterPhase1++
@@ -260,6 +268,11 @@ func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Re
 							continue
 						}
 					}
+					// Instances are only allocated for pairs that survive the
+					// filters: on large corpora phase 1 rejects the vast
+					// majority of pairs.
+					p1 := &instance{API: traces[i].API, Prefix: "A1.", Txn: t1, Trace: inst1[i]}
+					p2 := &instance{API: traces[j].API, Prefix: "A2.", Txn: t2, Trace: inst2[j]}
 					a.enumeratePair(p1, p2, res, add)
 				}
 			}
@@ -268,14 +281,18 @@ func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Re
 	return chains, nil
 }
 
-// txnLevelConflict is phase 1: the pair can form a transaction conflict
-// cycle iff each transaction writes a table the other accesses.
-func txnLevelConflict(t1, t2 *trace.Txn) bool {
-	acc1, wr1 := t1.Tables()
-	acc2, wr2 := t2.Tables()
+// txnSig is a transaction's cached table signature for the phase-1
+// screen.
+type txnSig struct {
+	acc, wr map[string]bool
+}
+
+// conflicts is phase 1: the pair can form a transaction conflict cycle
+// iff each transaction writes a table the other accesses.
+func (s txnSig) conflicts(o txnSig) bool {
 	oneWay := false
-	for t := range wr1 {
-		if acc2[t] {
+	for t := range s.wr {
+		if o.acc[t] {
 			oneWay = true
 			break
 		}
@@ -283,8 +300,8 @@ func txnLevelConflict(t1, t2 *trace.Txn) bool {
 	if !oneWay {
 		return false
 	}
-	for t := range wr2 {
-		if acc1[t] {
+	for t := range o.wr {
+		if s.acc[t] {
 			return true
 		}
 	}

@@ -25,6 +25,19 @@ type interner struct {
 	buckets map[uint64][]Expr
 	// hashes caches the structural hash of every interned node.
 	hashes map[Expr]uint64
+	// fast is a lock-free read path for nodes Intern/ExprHash have seen
+	// before: original expression → its canonical node and hash. The
+	// parallel discharge stage interns from several workers, and interned
+	// subtrees recur heavily (cached edge conditions, shared path
+	// conditions, solver atom keys), so most calls resolve here without
+	// touching mu. Entries are write-once, so a racing Store after a miss
+	// is benign — both writers store the same value.
+	fast sync.Map // Expr → internHit
+}
+
+type internHit struct {
+	canon Expr
+	h     uint64
 }
 
 var globalInterner = &interner{
@@ -36,9 +49,13 @@ var globalInterner = &interner{
 // expressions intern to interface-equal values. The result is equivalent
 // to e (same structure, same sorts).
 func Intern(e Expr) Expr {
+	if v, ok := globalInterner.fast.Load(e); ok {
+		return v.(internHit).canon
+	}
 	globalInterner.mu.Lock()
-	defer globalInterner.mu.Unlock()
-	out, _ := globalInterner.intern(e)
+	out, h := globalInterner.intern(e)
+	globalInterner.mu.Unlock()
+	globalInterner.fast.Store(e, internHit{canon: out, h: h})
 	return out
 }
 
@@ -46,9 +63,13 @@ func Intern(e Expr) Expr {
 // expressions hash equal. The expression is interned as a side effect so
 // repeated hashing is a map lookup.
 func ExprHash(e Expr) uint64 {
+	if v, ok := globalInterner.fast.Load(e); ok {
+		return v.(internHit).h
+	}
 	globalInterner.mu.Lock()
-	defer globalInterner.mu.Unlock()
-	_, h := globalInterner.intern(e)
+	out, h := globalInterner.intern(e)
+	globalInterner.mu.Unlock()
+	globalInterner.fast.Store(e, internHit{canon: out, h: h})
 	return h
 }
 

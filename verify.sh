@@ -90,4 +90,18 @@ go run ./internal/obs/obstest/validatecmd \
     -events "$obsdir/run.spans.jsonl" \
     -metrics "$obsdir/run.prom"
 
+# Generated-corpus smoke: a tiny pinned-seed synthetic app (application
+# registry spec gen:<seed>,...) through collection and analysis end to
+# end. Guards the generator → registry → pipeline path and the planted
+# anti-pattern classification; bounded to a few seconds by the corpus
+# size. The full sweep lives in weseer-bench -exp scale.
+echo "== generated-corpus smoke (weseer run -app gen:7,...)"
+genout=$(go run ./cmd/weseer run \
+    -app "gen:7,templates=12,modules=3,tables=4,rows=6" -parallel 4)
+echo "$genout" | grep -Eq '^  f1 +[0-9]+ report' || {
+    echo "generated-corpus smoke: planted class f1 not diagnosed:" >&2
+    echo "$genout" >&2
+    exit 1
+}
+
 echo "verify: OK"
