@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"weseer/internal/appgen"
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+)
+
+// The enum experiment isolates phases 1–2: it sweeps generated corpora
+// across template counts and diagnoses each three ways — the serial
+// quadratic pair loop (the pre-index baseline, kept as the
+// DisableEnumIndex ablation), the inverted-index enumeration on one
+// worker, and the indexed enumeration on -parallel workers. Every point
+// gates on byte-identical reports across all three modes before its
+// timings are recorded; the sweep, seed and normalized corpus configs
+// embedded, goes to -enumout.
+
+var (
+	enumSizesF = flag.String("enumsizes", "96,384,1056", "template counts for the -exp enum sweep")
+	enumSeedF  = flag.Int64("enumseed", 7, "generator seed for -exp enum")
+	enumOutF   = flag.String("enumout", "BENCH_enum.json", "write the -exp enum sweep as versioned JSON to this file")
+)
+
+func init() {
+	registerExp(9, "enum", "phase-1/2 enumeration: naive pair loop vs indexed vs indexed-parallel", enum)
+}
+
+// enumRun is one timed diagnosis of a corpus under one enumeration mode.
+type enumRun struct {
+	WallMS      int64 `json:"wall_ms"`
+	EnumMS      int64 `json:"enum_ms"` // wall time of phases 1–2 (pool + merge)
+	IndexProbes int   `json:"index_probes"`
+}
+
+// enumPoint is one corpus size in the sweep.
+type enumPoint struct {
+	Templates        int           `json:"templates"`
+	Spec             string        `json:"spec"` // canonical gen spec: reproduces this corpus exactly
+	Config           appgen.Config `json:"config"`
+	Traces           int           `json:"traces"`
+	Pairs            int           `json:"pairs"`
+	PairsAfterPhase1 int           `json:"pairs_after_phase1"`
+	Deadlocks        int           `json:"deadlocks"`
+	Naive            enumRun       `json:"naive"`
+	Indexed          enumRun       `json:"indexed"`
+	IndexedParallel  enumRun       `json:"indexed_parallel"`
+	// EnumSpeedup compares just the phase-1/2 wall time, naive over
+	// indexed (one worker each): the index's algorithmic gain, with the
+	// identical phase-3 work factored out.
+	EnumSpeedup float64 `json:"enum_speedup"`
+	// ProbeShare is the index's posting-list work as a fraction of the
+	// naive loop's pairwise signature probes — how sparse the corpus is,
+	// and so how much of the quadratic universe the index skips.
+	ProbeShare       float64 `json:"probe_share"`
+	ReportsIdentical bool    `json:"reports_identical"`
+}
+
+// enumJSON is the versioned -enumout payload. As with -exp scale,
+// NumCPU/GOMAXPROCS record the machine: on a single scheduler-visible
+// core the indexed-parallel mode pays fan-out overhead for no wall-
+// clock gain, while the identity gate is machine-independent.
+type enumJSON struct {
+	Version     int         `json:"version"`
+	Seed        int64       `json:"seed"`
+	Parallelism int         `json:"parallelism"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Points      []enumPoint `json:"points"`
+}
+
+func enumSizes() []int {
+	var out []int
+	for _, part := range strings.Split(*enumSizesF, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "weseer-bench: bad -enumsizes entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func enum() {
+	workers := *parallelF
+	header(fmt.Sprintf("Enum: naive pair loop vs conflict index, indexed-parallel at %d", workers))
+	out := enumJSON{Version: 1, Seed: *enumSeedF, Parallelism: workers,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if out.GOMAXPROCS < workers {
+		fmt.Printf("note: GOMAXPROCS=%d < %d workers — expect wall-clock parity (or fan-out\n"+
+			"overhead) for the parallel mode; the byte-identity gate is machine-independent\n",
+			out.GOMAXPROCS, workers)
+	}
+
+	fmt.Printf("%9s %7s %9s %9s %5s %9s %9s %9s %8s %7s\n",
+		"templates", "traces", "pairs", "after-p1", "dl", "naive-ms", "index-ms", "par-ms", "speedup", "probes")
+	for _, n := range enumSizes() {
+		spec := fmt.Sprintf("%d,templates=%d", *enumSeedF, n)
+		app := openApp("gen:" + spec)
+		cfg := app.(interface{ Config() appgen.Config }).Config()
+
+		traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic)
+		check(err)
+
+		run := func(opts ...core.Option) (enumRun, *core.Result, string) {
+			t0 := time.Now()
+			res, err := core.NewAnalyzer(app.Schema(), opts...).
+				AnalyzeContext(context.Background(), traces)
+			check(err)
+			r := enumRun{
+				WallMS:      time.Since(t0).Milliseconds(),
+				EnumMS:      res.Stats.EnumTime.Milliseconds(),
+				IndexProbes: res.Stats.IndexProbes,
+			}
+			// The identity report zeroes IndexProbes: it is the one funnel
+			// counter that legitimately differs across the modes (the naive
+			// loop never walks the index).
+			stats := res.Stats.WithoutTimings()
+			stats.IndexProbes = 0
+			var b strings.Builder
+			fmt.Fprintf(&b, "funnel: %+v\n", stats)
+			for i, d := range res.Deadlocks {
+				fmt.Fprintf(&b, "--- deadlock %d\n%s", i+1, d.Render())
+			}
+			return r, res, b.String()
+		}
+		// Untimed warmup for the same reason as -exp scale: Canon's
+		// process-wide caches persist, so the first timed run would
+		// otherwise pay the cold-cache cost alone.
+		run(core.WithParallelism(1))
+		naive, res, naiveReport := run(core.WithoutEnumIndex(), core.WithParallelism(1))
+		indexed, _, indexedReport := run(core.WithParallelism(1))
+		par, _, parReport := run(core.WithParallelism(workers))
+
+		pt := enumPoint{
+			Templates:        cfg.Templates,
+			Spec:             cfg.Spec(),
+			Config:           cfg,
+			Traces:           len(traces),
+			Pairs:            res.Stats.Pairs,
+			PairsAfterPhase1: res.Stats.PairsAfterPhase1,
+			Deadlocks:        len(res.Deadlocks),
+			Naive:            naive,
+			Indexed:          indexed,
+			IndexedParallel:  par,
+			ReportsIdentical: naiveReport == indexedReport && indexedReport == parReport,
+		}
+		if indexed.EnumMS > 0 {
+			pt.EnumSpeedup = float64(naive.EnumMS) / float64(indexed.EnumMS)
+		}
+		if pt.Pairs > 0 {
+			pt.ProbeShare = float64(indexed.IndexProbes) / float64(pt.Pairs)
+		}
+		fmt.Printf("%9d %7d %9d %9d %5d %9d %9d %9d %7.2fx %7d\n",
+			pt.Templates, pt.Traces, pt.Pairs, pt.PairsAfterPhase1, pt.Deadlocks,
+			naive.EnumMS, indexed.EnumMS, par.EnumMS, pt.EnumSpeedup, indexed.IndexProbes)
+		if !pt.ReportsIdentical {
+			fmt.Println("  ERROR: enumeration modes disagree — determinism bug; not writing BENCH files")
+			os.Exit(1)
+		}
+		out.Points = append(out.Points, pt)
+	}
+
+	if *enumOutF != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*enumOutF, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s (seed %d, %d point(s))\n", *enumOutF, out.Seed, len(out.Points))
+	}
+}

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
+//	weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-enum-index=false] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
 //	weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
-//	weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [observability flags]
+//	weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [observability flags]
 //	weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
 //
 // NAME is resolved through the application registry (internal/apps):
@@ -29,6 +29,9 @@
 // replays every report against a live database — the paper's two
 // Sec. V-D future-work items. -prescreen enables the Phase-0 static
 // screen that discards trivially-UNSAT candidates before the solver.
+// -enum-index=false falls back to the serial quadratic phase-1/2 pair
+// loop instead of the indexed, parallel enumeration (ablation; the
+// report is byte-identical either way).
 //
 // -parallel sets the phase-3 worker count (0 = GOMAXPROCS); the report
 // is identical at any setting. -timeout bounds the analysis wall time
@@ -98,9 +101,9 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
+  weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-enum-index=false] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
   weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
-  weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-parallel N] [-timeout D] [-json] [obs flags]
+  weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [obs flags]
   weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
 
 registered applications (-app):
@@ -215,6 +218,7 @@ func cmdRun(args []string) (err error) {
 	fixed := fs.Bool("fixed", false, "apply the Table II fixes before collecting")
 	coarse := fs.Bool("coarse", false, "STEPDAD/REDACT-style coarse baseline (no SMT)")
 	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
+	enumIndex := fs.Bool("enum-index", true, "use the indexed, parallel phase-1/2 enumeration (=false: serial quadratic pair loop)")
 	plans := fs.Bool("plans", false, "restrict lock modeling to recorded execution plans (Sec. V-D)")
 	parallel := fs.Int("parallel", 0, "phase-3 worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "bound the analysis wall time (0 = none)")
@@ -252,7 +256,7 @@ func cmdRun(args []string) (err error) {
 				tr.API, len(tr.Txns), tr.Stats.Statements, tr.Stats.PathConds)
 		}
 	}
-	opts := analysisOptions(*coarse, *prescreen, *parallel)
+	opts := analysisOptions(*coarse, *prescreen, *enumIndex, *parallel)
 	if *plans {
 		opts = append(opts, core.WithConcretePlans())
 	}
@@ -325,6 +329,7 @@ func cmdAnalyze(args []string) (err error) {
 	in := fs.String("i", "traces.json", "input trace file")
 	coarse := fs.Bool("coarse", false, "coarse baseline (no SMT)")
 	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
+	enumIndex := fs.Bool("enum-index", true, "use the indexed, parallel phase-1/2 enumeration (=false: serial quadratic pair loop)")
 	parallel := fs.Int("parallel", 0, "phase-3 worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "bound the analysis wall time (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report instead of text")
@@ -353,7 +358,7 @@ func cmdAnalyze(args []string) (err error) {
 			err = e
 		}
 	}()
-	opts := analysisOptions(*coarse, *prescreen, *parallel)
+	opts := analysisOptions(*coarse, *prescreen, *enumIndex, *parallel)
 	if o != nil {
 		opts = append(opts, core.WithObserver(o))
 	}
@@ -369,13 +374,16 @@ func cmdAnalyze(args []string) (err error) {
 }
 
 // analysisOptions translates the shared CLI flags into analyzer options.
-func analysisOptions(coarse, prescreen bool, parallel int) []core.Option {
+func analysisOptions(coarse, prescreen, enumIndex bool, parallel int) []core.Option {
 	var opts []core.Option
 	if coarse {
 		opts = append(opts, core.WithCoarseOnly())
 	}
 	if prescreen {
 		opts = append(opts, core.WithPrescreen())
+	}
+	if !enumIndex {
+		opts = append(opts, core.WithoutEnumIndex())
 	}
 	if parallel > 0 {
 		opts = append(opts, core.WithParallelism(parallel))
@@ -512,6 +520,7 @@ type jsonStats struct {
 	Pairs            int `json:"txn_pairs"`
 	PairsAfterPhase1 int `json:"pairs_after_phase1"`
 	CoarseCycles     int `json:"coarse_cycles"`
+	IndexProbes      int `json:"index_probes"`
 	LockFiltered     int `json:"lock_filtered"`
 	PrescreenPairs   int `json:"prescreen_pairs"`
 	PrescreenPruned  int `json:"prescreen_pairs_pruned"`
@@ -551,6 +560,7 @@ func statsJSON(s core.Stats) jsonStats {
 		Pairs:            s.Pairs,
 		PairsAfterPhase1: s.PairsAfterPhase1,
 		CoarseCycles:     s.CoarseCycles,
+		IndexProbes:      s.IndexProbes,
 		LockFiltered:     s.LockFiltered,
 		PrescreenPairs:   s.PrescreenPairs,
 		PrescreenPruned:  s.PrescreenPairsPruned,

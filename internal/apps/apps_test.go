@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,11 @@ import (
 	"weseer/internal/concolic"
 	"weseer/internal/core"
 )
+
+// update rewrites the golden files instead of diffing against them.
+// Refresh deliberately (go test ./internal/apps -run Goldens -update)
+// and review the diff: the goldens pin Table II report bytes.
+var update = flag.Bool("update", false, "rewrite the golden report files")
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
@@ -136,6 +142,12 @@ func TestTableIIGoldens(t *testing.T) {
 			}
 			got := renderApp(t, app)
 			goldenPath := filepath.Join("testdata", "golden_"+name+".txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
 			want, err := os.ReadFile(goldenPath)
 			if err != nil {
 				t.Fatal(err)

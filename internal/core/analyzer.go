@@ -13,12 +13,14 @@
 //     discharged by the SMT solver; only SAT cycles are reported, with a
 //     satisfying assignment of API inputs and database state.
 //
-// The diagnosis runs as an explicit staged pipeline (pipeline.go):
-// stages 1–2 enumerate candidate cycles serially and group them into
-// dedup-key chains; stage 3 discharges the chains on a bounded worker
-// pool with solver-call memoization (memo.go); stage 4 merges per-chain
-// outcomes in canonical order, so the report is deterministic — byte
-// identical — at every parallelism setting.
+// The diagnosis runs as an explicit staged pipeline: stages 1–2
+// enumerate candidate cycles through an inverted table-conflict index
+// on a bounded worker pool (enumerate.go) and group them into dedup-key
+// chains via an order-preserving merge; stage 3 discharges the chains
+// on a worker pool with solver-call memoization (pipeline.go, memo.go);
+// stage 4 merges per-chain outcomes in canonical order. The report is
+// deterministic — byte identical — at every parallelism setting, and
+// identical with the index disabled (DisableEnumIndex).
 package core
 
 import (
@@ -162,18 +164,23 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 		res.CanonicalOrder = staticlint.CanonicalizeShapes(shapes, a.scm)
 	}
 
-	// Stages 1–2 (serial): pair filtering and coarse-cycle enumeration,
-	// grouped into dedup-key chains in first-occurrence order.
+	// Stages 1–2: pair filtering and coarse-cycle enumeration, grouped
+	// into dedup-key chains in first-occurrence order. The indexed path
+	// fans the per-instance work out over the same worker budget phase 3
+	// uses; its merge keeps chain order byte-compatible with the naive
+	// serial loop (the DisableEnumIndex ablation).
 	start := time.Now()
-	chains, err := a.enumerate(ctx, traces, res)
+	chains, err := a.enumerate(ctx, traces, workers, res)
 	res.Stats.EnumTime = time.Since(start)
 	if o != nil {
 		spEnum.End(obs.Int("chains", len(chains)),
-			obs.Int("coarse_cycles", res.Stats.CoarseCycles))
+			obs.Int("coarse_cycles", res.Stats.CoarseCycles),
+			obs.Int("index_probes", res.Stats.IndexProbes))
 		m := o.P()
 		m.Pairs.Add(int64(res.Stats.Pairs))
 		m.PairsAfterPhase1.Add(int64(res.Stats.PairsAfterPhase1))
 		m.CoarseCycles.Add(int64(res.Stats.CoarseCycles))
+		m.IndexProbes.Add(int64(res.Stats.IndexProbes))
 		m.PrescreenPairs.Add(int64(res.Stats.PrescreenPairs))
 		m.PrescreenPairsPruned.Add(int64(res.Stats.PrescreenPairsPruned))
 	}
@@ -214,8 +221,20 @@ func (a *Analyzer) finishObs(o *obs.Observer, spAnalyze obs.Span, res *Result, e
 // enumerate runs phases 1 and 2: transaction-pair filtering, the Phase-0
 // pair screen, and coarse-cycle enumeration. Candidate cycles sharing a
 // dedup key are collected into one chain, preserving global enumeration
-// order both across chains and within each chain.
-func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Result) ([]*chain, error) {
+// order both across chains and within each chain. The default
+// implementation is the indexed, parallel one (enumerate.go); the naive
+// quadratic loop remains as the DisableEnumIndex ablation and as the
+// oracle the differential tests compare against.
+func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, workers int, res *Result) ([]*chain, error) {
+	if !a.opts.DisableEnumIndex {
+		return a.enumerateIndexed(ctx, traces, workers, res)
+	}
+	return a.enumerateNaive(ctx, traces, res)
+}
+
+// enumerateNaive probes every cross-instance transaction pair —
+// O(instances²) in corpus size, serial.
+func (a *Analyzer) enumerateNaive(ctx context.Context, traces []*trace.Trace, res *Result) ([]*chain, error) {
 	// Pre-rename each trace once per role, and compute each renamed
 	// transaction's table signature once: phase 1 probes every pair, so
 	// rebuilding the accessed/written maps per probe is quadratic in
@@ -273,7 +292,7 @@ func (a *Analyzer) enumerate(ctx context.Context, traces []*trace.Trace, res *Re
 					// majority of pairs.
 					p1 := &instance{API: traces[i].API, Prefix: "A1.", Txn: t1, Trace: inst1[i]}
 					p2 := &instance{API: traces[j].API, Prefix: "A2.", Txn: t2, Trace: inst2[j]}
-					a.enumeratePair(p1, p2, res, add)
+					res.Stats.CoarseCycles += a.enumeratePair(p1, p2, add)
 				}
 			}
 		}
@@ -328,8 +347,9 @@ func coarseConflictTable(s, t *trace.Stmt) string {
 // C-edges, then deadlock cycles. A cycle needs T1 to hold a lock from an
 // earlier statement while waiting at a later one (and symmetrically for
 // T2): S1a < S1b and S2a < S2b in execution order, with C-edges
-// (S1b, S2a) and (S2b, S1a).
-func (a *Analyzer) enumeratePair(p1, p2 *instance, res *Result, add func(Cycle)) {
+// (S1b, S2a) and (S2b, S1a). Cycles are passed to emit in enumeration
+// order; the returned count is the number emitted.
+func (a *Analyzer) enumeratePair(p1, p2 *instance, emit func(Cycle)) int {
 	s1, s2 := p1.Txn.Stmts, p2.Txn.Stmts
 
 	type cedge struct{ i, j int }
@@ -353,11 +373,10 @@ func (a *Analyzer) enumeratePair(p1, p2 *instance, res *Result, add func(Cycle))
 				continue
 			}
 			if a.opts.MaxCyclesPerPair > 0 && count >= a.opts.MaxCyclesPerPair {
-				return
+				return count
 			}
 			count++
-			res.Stats.CoarseCycles++
-			add(Cycle{
+			emit(Cycle{
 				T1: p1, T2: p2,
 				S1a: s1[i1a], S1b: s1[i1b],
 				S2a: s2[i2a], S2b: s2[i2b],
@@ -365,6 +384,7 @@ func (a *Analyzer) enumeratePair(p1, p2 *instance, res *Result, add func(Cycle))
 			})
 		}
 	}
+	return count
 }
 
 func maxSeq(a, b *trace.Stmt) int {

@@ -16,11 +16,13 @@ import (
 )
 
 // obsTraces is pipelineTraces inflated with enough API variants that
-// phase 3 has dozens of chains — long enough for a mid-flight cancel to
-// land while workers are still discharging.
+// phase 3 has hundreds of chains — long enough for a mid-flight cancel
+// to land while workers are still discharging, even on a single-CPU
+// machine where the test's /progress probe can take hundreds of
+// milliseconds while the solver pool is busy.
 func obsTraces() []*trace.Trace {
 	traces := pipelineTraces()
-	for i := 0; i < 40; i++ {
+	for i := 0; i < 120; i++ {
 		traces = append(traces, finishOrderVariant("Variant", 1000+10*i))
 	}
 	return traces

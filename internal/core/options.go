@@ -48,6 +48,12 @@ type Options struct {
 	// discharged candidate runs its own solver call on the original,
 	// un-canonicalized formula.
 	DisableMemo bool
+	// DisableEnumIndex turns off the inverted table-conflict index and
+	// the parallel fan-out of phases 1–2 (ablation): enumeration falls
+	// back to the serial loop that probes every transaction-instance
+	// pair — O(instances²) in corpus size. Reports are byte-identical
+	// either way; the naive loop doubles as the differential-test oracle.
+	DisableEnumIndex bool
 	// Observer, when non-nil, receives spans, metrics, and progress from
 	// the run. Telemetry is observational only: the report is identical
 	// with or without it. Nil (the default) disables all instrumentation
@@ -119,6 +125,13 @@ func WithObserver(o *obs.Observer) Option {
 // WithoutMemo disables solver-call memoization (ablation).
 func WithoutMemo() Option {
 	return func(o *Options) { o.DisableMemo = true }
+}
+
+// WithoutEnumIndex disables the indexed, parallel candidate enumeration
+// (ablation): phases 1–2 fall back to the serial quadratic pair loop.
+// The report is byte-identical either way.
+func WithoutEnumIndex() Option {
+	return func(o *Options) { o.DisableEnumIndex = true }
 }
 
 // NewAnalyzer returns an analyzer for a schema, configured by functional

@@ -45,8 +45,15 @@ type Stats struct {
 	Pairs            int // transaction instance pairs considered
 	PairsAfterPhase1 int // pairs surviving the transaction-level filter
 	CoarseCycles     int // SC-graph deadlock cycles found in phase 2
-	LockFiltered     int // cycles discarded by the lock-collision test
-	GroupsSolved     int // cycles discharged in the fine phase (memoized or not)
+
+	// IndexProbes counts the posting-list entries the inverted
+	// table-conflict index walked to produce the phase-1 survivors —
+	// the work the indexed enumeration does in place of the naive
+	// loop's Pairs signature probes. Zero when DisableEnumIndex (or
+	// SkipPhase1) bypasses the index. Deterministic at any parallelism.
+	IndexProbes  int
+	LockFiltered int // cycles discarded by the lock-collision test
+	GroupsSolved int // cycles discharged in the fine phase (memoized or not)
 
 	// Phase-0 static prescreen counters (zero unless StaticPrescreen).
 	PrescreenPairs       int // pairs examined by the static pair screen
@@ -71,11 +78,12 @@ type Stats struct {
 	// solved it — so the sums are deterministic at any parallelism.
 	Engine solver.Stats
 
-	// Parallelism is the phase-3 worker count the run used; the timings
-	// below depend on it, the rest of the report does not.
+	// Parallelism is the worker count the run used for the enumeration
+	// and discharge pools; the timings below depend on it, the rest of
+	// the report does not.
 	Parallelism int
 	SolverTime  time.Duration // cumulative in-solver time across workers
-	EnumTime    time.Duration // wall time of phases 1–2 (serial)
+	EnumTime    time.Duration // wall time of phases 1–2 (pool + merge)
 	FineTime    time.Duration // wall time of phase 3 + merge
 }
 
@@ -128,6 +136,10 @@ func RenderSuggestions(co *staticlint.CanonicalOrder) string {
 
 // Render formats the per-phase statistics.
 func (s Stats) Render() string {
+	idx := ""
+	if s.IndexProbes > 0 {
+		idx = fmt.Sprintf(" [index: %d postings probed]", s.IndexProbes)
+	}
 	pre := ""
 	if s.PrescreenPairs > 0 || s.PrescreenSaved > 0 {
 		pre = fmt.Sprintf(" [prescreen: %d pairs screened, %d pruned, %d solver calls saved]",
@@ -149,10 +161,10 @@ func (s Stats) Render() string {
 			e.Decisions, e.Conflicts, e.Propagations, e.LearnedClauses, e.Backjumps, e.TheoryCalls)
 	}
 	return fmt.Sprintf(
-		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s%s",
+		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s%s%s",
 		s.Traces, s.Pairs, s.PairsAfterPhase1, s.CoarseCycles,
 		s.LockFiltered, s.GroupsSolved, s.SolverCalls, memo,
-		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, pre, engine)
+		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, idx, pre, engine)
 }
 
 // Render formats one deadlock.

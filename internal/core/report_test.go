@@ -44,6 +44,21 @@ func TestStatsRenderGolden(t *testing.T) {
 	if got := bare.Render(); got != want {
 		t.Errorf("bare stats render:\n got: %q\nwant: %q", got, want)
 	}
+
+	// An indexed enumeration surfaces its posting-list work as a bracket
+	// segment; zero probes (naive loop, or SkipPhase1) must render
+	// nothing, which the two cases above already pin.
+	indexed := Stats{
+		Traces: 2, Pairs: 4, PairsAfterPhase1: 2, CoarseCycles: 9,
+		IndexProbes: 7,
+	}
+	want = "phases: 2 traces, 4 txn pairs -> 2 after txn-level filter -> " +
+		"9 coarse cycles -> 0 lock-filtered, 0 groups solved via " +
+		"0 solver calls (SAT 0 / UNSAT 0 / UNKNOWN 0) in 0s " +
+		"[index: 7 postings probed]"
+	if got := indexed.Render(); got != want {
+		t.Errorf("indexed stats render:\n got: %q\nwant: %q", got, want)
+	}
 }
 
 // TestResultRenderIncludesEngineLine checks the engine counters surface

@@ -114,6 +114,7 @@ type PipelineMetrics struct {
 	Pairs            *Counter
 	PairsAfterPhase1 *Counter
 	CoarseCycles     *Counter
+	IndexProbes      *Counter
 	LockFiltered     *Counter
 	GroupsSolved     *Counter
 	SolverCalls      *Counter
@@ -154,6 +155,7 @@ func RegisterPipelineMetrics(reg *Registry) *PipelineMetrics {
 		Pairs:            reg.Counter("weseer_funnel_txn_pairs_total", "transaction instance pairs considered (phase 1 input)"),
 		PairsAfterPhase1: reg.Counter("weseer_funnel_pairs_after_phase1_total", "pairs surviving the transaction-level filter"),
 		CoarseCycles:     reg.Counter("weseer_funnel_coarse_cycles_total", "SC-graph deadlock cycles found in phase 2"),
+		IndexProbes:      reg.Counter("weseer_enum_index_probes_total", "posting-list entries walked by the phase-1 conflict index"),
 		LockFiltered:     reg.Counter("weseer_funnel_lock_filtered_total", "cycles discarded by the lock-collision test"),
 		GroupsSolved:     reg.Counter("weseer_funnel_groups_solved_total", "cycles discharged in the fine phase (memoized or not)"),
 		SolverCalls:      reg.Counter("weseer_funnel_solver_calls_total", "group discharges that ran the solver"),

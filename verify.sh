@@ -104,4 +104,11 @@ echo "$genout" | grep -Eq '^  f1 +[0-9]+ report' || {
     exit 1
 }
 
+# Enumeration smoke: one tiny corpus through all three phase-1/2 modes
+# (naive pair loop, indexed, indexed-parallel). The experiment exits
+# nonzero unless the three reports are byte-identical, so this doubles
+# as a cross-process differential check; -enumout "" skips the artifact.
+echo "== enumeration smoke (weseer-bench -exp enum, tiny corpus)"
+go run ./cmd/weseer-bench -exp enum -enumsizes 24 -enumout "" >/dev/null
+
 echo "verify: OK"

@@ -187,6 +187,10 @@ var (
 	WithoutLockFilter = core.WithoutLockFilter
 	// WithoutMemo disables solver-call memoization (ablation).
 	WithoutMemo = core.WithoutMemo
+	// WithoutEnumIndex disables the indexed, parallel candidate
+	// enumeration (ablation): phases 1–2 fall back to the serial
+	// quadratic pair loop. Reports are byte-identical either way.
+	WithoutEnumIndex = core.WithoutEnumIndex
 	// WithObserver attaches an observability sink to the analysis.
 	WithObserver = core.WithObserver
 )
