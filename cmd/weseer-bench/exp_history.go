@@ -1,0 +1,214 @@
+package main
+
+// The history experiment micro-benchmarks the continuous-diagnosis
+// service over generated corpora: for each corpus size it runs trace
+// ingest through the real HTTP stack (the obs debug server with the
+// history routes mounted, exactly as `weseer serve` wires them) and
+// records cold-ingest wall time (analysis + store), warm re-ingest
+// (pure fingerprint dedup — must store zero events), store reload time
+// after a close/reopen, on-disk log size, and per-endpoint query
+// latencies. The sweep goes to -historyout as versioned JSON.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/history"
+	"weseer/internal/obs"
+	"weseer/internal/trace"
+)
+
+var (
+	historySizesF   = flag.String("historysizes", "24,96,384", "template counts for the -exp history sweep")
+	historySeedF    = flag.Int64("historyseed", 7, "generator seed for -exp history")
+	historyQueriesF = flag.Int("historyqueries", 50, "query iterations per endpoint for the latency columns")
+	historyOutF     = flag.String("historyout", "BENCH_history.json", "write the -exp history sweep as versioned JSON to this file")
+)
+
+func historySizes() []int {
+	var out []int
+	for _, part := range strings.Split(*historySizesF, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "weseer-bench: bad -historysizes entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func init() {
+	registerExp(10, "history", "continuous-diagnosis service: ingest throughput and query latency over generated corpora", historyExp)
+}
+
+// historyPoint is one corpus size in the sweep.
+type historyPoint struct {
+	Templates    int     `json:"templates"`
+	Spec         string  `json:"spec"`
+	Traces       int     `json:"traces"`
+	PayloadBytes int     `json:"payload_bytes"` // trace-batch JSON posted to /ingest
+	Events       int     `json:"events"`        // distinct fingerprints stored
+	Sightings    int     `json:"sightings"`
+	LogBytes     int64   `json:"log_bytes"` // on-disk append-log size after both ingests
+	IngestColdMS int64   `json:"ingest_cold_ms"`
+	IngestWarmMS int64   `json:"ingest_warm_ms"`
+	WarmDedupOK  bool    `json:"warm_dedup_ok"` // second ingest stored zero events
+	ReloadMS     int64   `json:"reload_ms"`     // close + reopen (replay) wall time
+	ReloadOK     bool    `json:"reload_ok"`     // event count unchanged by reload
+	PatternsUS   float64 `json:"patterns_us"`   // mean GET /history/patterns latency
+	EventsUS     float64 `json:"events_us"`     // mean GET /history/events latency
+	TablesUS     float64 `json:"tables_us"`     // mean GET /history/tables?window=1h latency
+}
+
+// historyJSON is the versioned -historyout payload.
+type historyJSON struct {
+	Version int            `json:"version"`
+	Seed    int64          `json:"seed"`
+	Queries int            `json:"queries"`
+	Points  []historyPoint `json:"points"`
+}
+
+func historyExp() {
+	header("History service: ingest throughput and query latency (generated corpora)")
+	out := historyJSON{Version: 1, Seed: *historySeedF, Queries: *historyQueriesF}
+
+	dir, err := os.MkdirTemp("", "weseer-bench-history")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("%9s %7s %7s %9s %9s %9s %9s %11s %11s %11s\n",
+		"templates", "traces", "events", "log-KiB", "cold-ms", "warm-ms", "reload-ms",
+		"patterns-us", "events-us", "tables-us")
+	for _, n := range historySizes() {
+		spec := fmt.Sprintf("%d,templates=%d", *historySeedF, n)
+		app := openApp("gen:" + spec)
+		traces, err := appkit.Collect(app.UnitTests(), concolic.ModeConcolic)
+		check(err)
+		payload, err := json.Marshal(traces)
+		check(err)
+
+		storePath := filepath.Join(dir, fmt.Sprintf("history-%d.wal", n))
+		st, err := history.Open(storePath)
+		check(err)
+		o := obs.NewObserver()
+		srv := &history.Server{
+			Store:   st,
+			Metrics: history.RegisterMetrics(o.Metrics),
+			Analyze: func(ctx context.Context, _ string, trs []*trace.Trace) ([]history.Event, error) {
+				res, err := core.NewAnalyzer(app.Schema(), core.WithObserver(o)).AnalyzeContext(ctx, trs)
+				if err != nil {
+					return nil, err
+				}
+				return history.FromResult(res, app.Name(), app.Classify), nil
+			},
+		}
+		ds, err := obs.StartDebugServer("127.0.0.1:0", o, srv.Routes()...)
+		check(err)
+		base := "http://" + ds.Addr()
+
+		post := func() (history.IngestSummary, int64) {
+			t0 := time.Now()
+			resp, err := http.Post(base+"/ingest", obs.ContentTypeJSON, bytes.NewReader(payload))
+			check(err)
+			body, err := io.ReadAll(resp.Body)
+			check(err)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				check(fmt.Errorf("ingest: %s: %s", resp.Status, body))
+			}
+			var sum history.IngestSummary
+			check(json.Unmarshal(body, &sum))
+			return sum, time.Since(t0).Milliseconds()
+		}
+		cold, coldMS := post()
+		warm, warmMS := post()
+
+		// Mean latency over -historyqueries GETs of one endpoint.
+		lat := func(path string) float64 {
+			iters := *historyQueriesF
+			if iters <= 0 {
+				iters = 1
+			}
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(base + path)
+				check(err)
+				_, err = io.Copy(io.Discard, resp.Body)
+				check(err)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					check(fmt.Errorf("GET %s: %s", path, resp.Status))
+				}
+			}
+			return float64(time.Since(t0).Microseconds()) / float64(iters)
+		}
+		patternsUS := lat("/history/patterns")
+		eventsUS := lat("/history/events")
+		tablesUS := lat("/history/tables?window=1h")
+
+		check(ds.Close())
+		logBytes := st.Size()
+		check(st.Close())
+
+		// Reload: replaying the append log rebuilds every index.
+		t0 := time.Now()
+		st2, err := history.Open(storePath)
+		check(err)
+		reloadMS := time.Since(t0).Milliseconds()
+		reloadOK := st2.Len() == cold.Events
+		sightings := st2.Sightings()
+		check(st2.Close())
+
+		pt := historyPoint{
+			Templates:    n,
+			Spec:         spec,
+			Traces:       len(traces),
+			PayloadBytes: len(payload),
+			Events:       cold.Events,
+			Sightings:    sightings,
+			LogBytes:     logBytes,
+			IngestColdMS: coldMS,
+			IngestWarmMS: warmMS,
+			WarmDedupOK:  warm.Stored == 0 && warm.Deduped == cold.Stored,
+			ReloadMS:     reloadMS,
+			ReloadOK:     reloadOK,
+			PatternsUS:   patternsUS,
+			EventsUS:     eventsUS,
+			TablesUS:     tablesUS,
+		}
+		fmt.Printf("%9d %7d %7d %9.1f %9d %9d %9d %11.0f %11.0f %11.0f\n",
+			pt.Templates, pt.Traces, pt.Events, float64(pt.LogBytes)/1024,
+			pt.IngestColdMS, pt.IngestWarmMS, pt.ReloadMS,
+			pt.PatternsUS, pt.EventsUS, pt.TablesUS)
+		if !pt.WarmDedupOK {
+			fmt.Printf("  ERROR: warm re-ingest not idempotent (%+v after %+v) — not writing BENCH files\n", warm, cold)
+			os.Exit(1)
+		}
+		if !pt.ReloadOK {
+			fmt.Printf("  ERROR: reload changed the event count (%d != %d) — not writing BENCH files\n", st2.Len(), cold.Events)
+			os.Exit(1)
+		}
+		out.Points = append(out.Points, pt)
+	}
+
+	if *historyOutF != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*historyOutF, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s (seed %d, %d point(s))\n", *historyOutF, out.Seed, len(out.Points))
+	}
+}

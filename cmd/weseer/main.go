@@ -9,6 +9,9 @@
 //	weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
 //	weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [observability flags]
 //	weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
+//	weseer serve   -store FILE [-addr HOST:PORT] [-app NAME] [-timeout D] [analysis flags]
+//	weseer ingest  -addr HOST:PORT|@file -i traces.json [-app NAME] [-format traces|report|events]
+//	weseer history -addr HOST:PORT|@file [patterns|events|tables] [-window D] [-format text|json]
 //
 // NAME is resolved through the application registry (internal/apps):
 // the bundled model apps ("broadleaf", "shopizer") and the synthetic
@@ -48,6 +51,19 @@
 // canonical global acquisition order plus ranked feedback-edge reorder
 // suggestions (the paper's f9–f11-style fixes). Exit status: 0 clean,
 // 1 findings at or above -fail-on, 2 usage error.
+//
+// "serve" runs the continuous-diagnosis daemon: ingested trace batches
+// are re-analyzed through the same pipeline and every diagnosed
+// deadlock is persisted — keyed by its stable fingerprint — into an
+// append-only history store that survives restarts, with per-table,
+// per-class, and per-API-pair rollups maintained incrementally.
+// Re-ingesting a corpus is idempotent: known fingerprints only bump
+// sighting counts. The daemon prints its base URL as the first stdout
+// line (bind -addr with port 0 to pick a free port) and serves the
+// obs debug endpoints alongside POST /ingest and the /history/*
+// queries. "ingest" and "history" are the matching HTTP clients;
+// their -addr accepts HOST:PORT, a URL, or @file pointing at a file
+// whose first line is the daemon's printed URL.
 package main
 
 import (
@@ -89,6 +105,12 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "vet":
 		err = cmdVet(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "history":
+		err = cmdHistory(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -105,6 +127,9 @@ func usage() {
   weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
   weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [obs flags]
   weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
+  weseer serve   -store FILE [-addr HOST:PORT] [-app NAME] [-timeout D] [analysis flags]
+  weseer ingest  -addr HOST:PORT|@file -i traces.json [-app NAME] [-format traces|report|events]
+  weseer history -addr HOST:PORT|@file [patterns|events|tables] [-window D] [-format text|json]
 
 registered applications (-app):
 `+apps.Usage("  ")+`
@@ -521,6 +546,7 @@ type jsonStats struct {
 	PairsAfterPhase1 int `json:"pairs_after_phase1"`
 	CoarseCycles     int `json:"coarse_cycles"`
 	IndexProbes      int `json:"index_probes"`
+	Fingerprints     int `json:"fingerprints"`
 	LockFiltered     int `json:"lock_filtered"`
 	PrescreenPairs   int `json:"prescreen_pairs"`
 	PrescreenPruned  int `json:"prescreen_pairs_pruned"`
@@ -548,10 +574,14 @@ type jsonStats struct {
 }
 
 type jsonDeadlck struct {
-	Catalog string    `json:"catalog"` // Table II entry id, "" if unclassified
-	APIs    [2]string `json:"apis"`
-	Tables  [2]string `json:"tables"`
-	Count   int       `json:"count"` // coarse cycles folded into the report
+	// Fingerprint is the deadlock's stable identity (core.Fingerprint):
+	// the history store's dedup key, invariant across runs, parallelism,
+	// and enumeration mode.
+	Fingerprint string    `json:"fingerprint"`
+	Catalog     string    `json:"catalog"` // Table II entry id, "" if unclassified
+	APIs        [2]string `json:"apis"`
+	Tables      [2]string `json:"tables"`
+	Count       int       `json:"count"` // coarse cycles folded into the report
 }
 
 func statsJSON(s core.Stats) jsonStats {
@@ -561,6 +591,7 @@ func statsJSON(s core.Stats) jsonStats {
 		PairsAfterPhase1: s.PairsAfterPhase1,
 		CoarseCycles:     s.CoarseCycles,
 		IndexProbes:      s.IndexProbes,
+		Fingerprints:     s.Fingerprints,
 		LockFiltered:     s.LockFiltered,
 		PrescreenPairs:   s.PrescreenPairs,
 		PrescreenPruned:  s.PrescreenPairsPruned,
@@ -588,10 +619,11 @@ func printJSON(res *core.Result, classify func(*core.Deadlock) string) error {
 	rep := jsonReport{Version: 1, Stats: statsJSON(res.Stats), Reports: []jsonDeadlck{}, Canonical: res.CanonicalOrder}
 	for _, d := range res.Deadlocks {
 		rep.Reports = append(rep.Reports, jsonDeadlck{
-			Catalog: classify(d),
-			APIs:    d.APIs,
-			Tables:  [2]string{d.Cycle.Table1, d.Cycle.Table2},
-			Count:   d.Count,
+			Fingerprint: d.Fingerprint(),
+			Catalog:     classify(d),
+			APIs:        d.APIs,
+			Tables:      [2]string{d.Cycle.Table1, d.Cycle.Table2},
+			Count:       d.Count,
 		})
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

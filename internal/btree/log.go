@@ -1,0 +1,138 @@
+package btree
+
+// Log is a WAL-style append-only record log — the durable file layer the
+// history store builds its B-tree indexes over. Records are opaque byte
+// payloads framed as
+//
+//	uint32 LE payload length | uint32 LE FNV-1a checksum | payload
+//
+// and only ever appended. OpenLog replays every intact record through a
+// callback so the caller can rebuild its in-memory state (the B-tree maps
+// and rollups), then truncates any torn tail: a crash mid-append leaves a
+// short or checksum-corrupt final frame, which is silently dropped —
+// everything before it is intact by construction. A corrupt frame is
+// always treated as the torn tail; since writes are strictly sequential,
+// nothing after the first bad frame can be trusted.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+const logHeaderSize = 8
+
+// maxLogRecord bounds a single record so a garbage length prefix cannot
+// force a huge allocation during replay.
+const maxLogRecord = 1 << 26 // 64 MiB
+
+// Log is an append-only record log backed by one file.
+type Log struct {
+	f    *os.File
+	path string
+	size int64 // bytes of intact, replayed frames
+}
+
+// logChecksum is the FNV-1a 32-bit checksum of a payload.
+func logChecksum(p []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(p)
+	return h.Sum32()
+}
+
+// OpenLog opens (creating if absent) the log at path and replays every
+// intact record through replay in append order. A torn final frame —
+// short header, short payload, or checksum mismatch — is truncated away;
+// a replay callback error aborts the open. The returned log is
+// positioned for appending.
+func OpenLog(path string, replay func(rec []byte) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path}
+	if err := l.replayAll(replay); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop the torn tail (no-op when the file ends on a frame boundary)
+	// and position the write cursor at the end of the intact prefix.
+	if err := f.Truncate(l.size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(l.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// replayAll scans the file from the start, invoking replay for each
+// intact frame and recording the offset of the last good frame end.
+func (l *Log) replayAll(replay func(rec []byte) error) error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var off int64
+	hdr := make([]byte, logHeaderSize)
+	for {
+		if _, err := io.ReadFull(l.f, hdr); err != nil {
+			break // clean EOF or torn header — intact prefix ends here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxLogRecord {
+			break // garbage length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(l.f, payload); err != nil {
+			break // torn payload
+		}
+		if logChecksum(payload) != sum {
+			break // corrupt frame
+		}
+		if replay != nil {
+			if err := replay(payload); err != nil {
+				return fmt.Errorf("btree: log replay %s @%d: %w", l.path, off, err)
+			}
+		}
+		off += logHeaderSize + int64(n)
+	}
+	l.size = off
+	return nil
+}
+
+// Append writes one record. The frame is written with a single Write
+// call so a crash tears at most the final record.
+func (l *Log) Append(rec []byte) error {
+	frame := make([]byte, logHeaderSize+len(rec))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:8], logChecksum(rec))
+	copy(frame[logHeaderSize:], rec)
+	if _, err := l.f.Write(frame); err != nil {
+		return err
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Size returns the byte length of the intact log.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the backing file's path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the backing file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

@@ -197,6 +197,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, traces []*trace.Trace) (*
 	sort.SliceStable(res.Deadlocks, func(x, y int) bool {
 		return res.Deadlocks[x].Key < res.Deadlocks[y].Key
 	})
+	res.Stats.Fingerprints = res.DistinctFingerprints()
 	a.finishObs(o, spAnalyze, res, err)
 	return res, err
 }

@@ -60,6 +60,12 @@ type Stats struct {
 	PrescreenPairsPruned int // pairs discarded before cycle enumeration
 	PrescreenSaved       int // solver calls avoided by group refutation
 
+	// Fingerprints is the number of distinct deadlock fingerprints among
+	// the reported deadlocks (see Deadlock.Fingerprint) — the number of
+	// history-store events this run contributes. Deterministic at any
+	// parallelism; zero when nothing was reported.
+	Fingerprints int
+
 	// Memoization split of GroupsSolved: SolverCalls discharges actually
 	// ran the solver (one per distinct canonical formula); MemoHits were
 	// served from the memo table. SolverCalls + MemoHits == GroupsSolved
@@ -140,6 +146,10 @@ func (s Stats) Render() string {
 	if s.IndexProbes > 0 {
 		idx = fmt.Sprintf(" [index: %d postings probed]", s.IndexProbes)
 	}
+	fps := ""
+	if s.Fingerprints > 0 {
+		fps = fmt.Sprintf(" [fingerprints: %d distinct]", s.Fingerprints)
+	}
 	pre := ""
 	if s.PrescreenPairs > 0 || s.PrescreenSaved > 0 {
 		pre = fmt.Sprintf(" [prescreen: %d pairs screened, %d pruned, %d solver calls saved]",
@@ -161,16 +171,17 @@ func (s Stats) Render() string {
 			e.Decisions, e.Conflicts, e.Propagations, e.LearnedClauses, e.Backjumps, e.TheoryCalls)
 	}
 	return fmt.Sprintf(
-		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s%s%s",
+		"phases: %d traces, %d txn pairs -> %d after txn-level filter -> %d coarse cycles -> %d lock-filtered, %d groups solved via %d solver calls%s (SAT %d / UNSAT %d / UNKNOWN %d) in %v%s%s%s%s%s",
 		s.Traces, s.Pairs, s.PairsAfterPhase1, s.CoarseCycles,
 		s.LockFiltered, s.GroupsSolved, s.SolverCalls, memo,
-		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, idx, pre, engine)
+		s.SolverSAT, s.SolverUNSAT, s.SolverUnknown, s.SolverTime.Round(1000), par, idx, fps, pre, engine)
 }
 
 // Render formats one deadlock.
 func (d *Deadlock) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "APIs: %s -- %s (%d coarse cycle(s) folded)\n", d.APIs[0], d.APIs[1], d.Count)
+	fmt.Fprintf(&b, "fingerprint: %s\n", d.Fingerprint())
 	c := d.Cycle
 	fmt.Fprintf(&b, "hold-and-wait cycle over tables [%s, %s]:\n", c.Table1, c.Table2)
 	renderSide(&b, "T1", d.APIs[0], c.S1a, c.S1b)

@@ -59,6 +59,21 @@ func TestStatsRenderGolden(t *testing.T) {
 	if got := indexed.Render(); got != want {
 		t.Errorf("indexed stats render:\n got: %q\nwant: %q", got, want)
 	}
+
+	// Distinct deadlock fingerprints surface as their own bracket
+	// segment; zero (no reports) must render nothing, which the cases
+	// above pin.
+	fingerprinted := Stats{
+		Traces: 2, Pairs: 4, PairsAfterPhase1: 2, CoarseCycles: 9,
+		Fingerprints: 3,
+	}
+	want = "phases: 2 traces, 4 txn pairs -> 2 after txn-level filter -> " +
+		"9 coarse cycles -> 0 lock-filtered, 0 groups solved via " +
+		"0 solver calls (SAT 0 / UNSAT 0 / UNKNOWN 0) in 0s " +
+		"[fingerprints: 3 distinct]"
+	if got := fingerprinted.Render(); got != want {
+		t.Errorf("fingerprinted stats render:\n got: %q\nwant: %q", got, want)
+	}
 }
 
 // TestResultRenderIncludesEngineLine checks the engine counters surface

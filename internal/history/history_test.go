@@ -1,0 +1,306 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic advancing clock so ingests get
+// distinct, reproducible timestamps.
+func fixedClock() func() time.Time {
+	t := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func testEvents() []Event {
+	return []Event{
+		{
+			Fingerprint: "00000000000000a1",
+			App:         "broadleaf", Class: "d1",
+			APIs:   [2]string{"Checkout", "UpdateSku"},
+			Tables: []string{"Sku", "Order", "Sku"}, // dup + unsorted on purpose
+			Txns: [2]TxnLock{
+				{API: "Checkout", HoldsSQL: "UPDATE Sku SET qty = ?", HoldsAt: "cart.go:42",
+					WaitsSQL: "UPDATE Order SET total = ?", WaitsAt: "cart.go:51"},
+				{API: "UpdateSku", HoldsSQL: "UPDATE Order SET total = ?", HoldsAt: "admin.go:10",
+					WaitsSQL: "UPDATE Sku SET qty = ?", WaitsAt: "admin.go:12"},
+			},
+			Count: 4,
+		},
+		{
+			Fingerprint: "00000000000000b2",
+			App:         "broadleaf", Class: "d2",
+			APIs:   [2]string{"Checkout", "Checkout"},
+			Tables: []string{"Order", "Customer"},
+			Count:  1,
+		},
+		{
+			Fingerprint: "00000000000000c3",
+			App:         "shopizer", Class: "d14",
+			APIs:   [2]string{"AddProduct", "Checkout"},
+			Tables: []string{"Product"},
+			Count:  2,
+		},
+	}
+}
+
+// snapshot serializes everything queryable so before/after states can
+// be compared byte for byte.
+func snapshot(t *testing.T, s *Store) []byte {
+	t.Helper()
+	out := struct {
+		Events   []Event        `json:"events"`
+		Patterns PatternSummary `json:"patterns"`
+		Tables   []TableCount   `json:"tables"`
+	}{s.Events(EventQuery{}), s.Patterns(), s.TableCounts(time.Time{})}
+	raw, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestStoreDurability is the satellite's reload pin: write events,
+// close, reopen — the event list and every rollup must be
+// byte-identical to the pre-close state.
+func TestStoreDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.wal")
+	s, err := Open(path, WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Ingest(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stored != 3 || sum.Deduped != 0 || sum.Events != 3 {
+		t.Fatalf("first ingest: %+v", sum)
+	}
+	// A second ingest of the same corpus must be pure dedup.
+	sum, err = s.Ingest(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stored != 0 || sum.Deduped != 3 || sum.Events != 3 {
+		t.Fatalf("re-ingest not idempotent: %+v", sum)
+	}
+	before := snapshot(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after := snapshot(t, s2)
+	if string(before) != string(after) {
+		t.Fatalf("reloaded state differs:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if s2.Len() != 3 || s2.Sightings() != 6 {
+		t.Fatalf("reloaded store: %d events, %d sightings", s2.Len(), s2.Sightings())
+	}
+}
+
+// TestStoreTornTailRecovery truncates the log mid-record: the store
+// must reopen with the intact prefix, and ingest must work afterwards.
+func TestStoreTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.wal")
+	s, err := Open(path, WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(testEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the final record's payload.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("after torn tail: %d events, want 2", s2.Len())
+	}
+	// The dropped event must be ingestable again (its record is gone).
+	sum, err := s2.Ingest(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stored != 1 || sum.Deduped != 2 {
+		t.Fatalf("post-recovery ingest: %+v", sum)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the repaired log must reload cleanly.
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 3 {
+		t.Fatalf("after repair: %d events, want 3", s3.Len())
+	}
+}
+
+func TestRollupsAndQueries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.wal")
+	s, err := Open(path, WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Ingest(testEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(testEvents()[:1]); err != nil { // re-sight the first event
+		t.Fatal(err)
+	}
+
+	p := s.Patterns()
+	if p.Events != 3 || p.Sightings != 4 {
+		t.Fatalf("patterns totals: %+v", p)
+	}
+	classes := map[string]Rollup{}
+	for _, r := range p.Classes {
+		classes[r.Key] = r
+	}
+	if r := classes["d1"]; r.Events != 1 || r.Seen != 2 {
+		t.Errorf("class d1 rollup: %+v", r)
+	}
+	if r := classes["d14"]; r.Events != 1 || r.Seen != 1 {
+		t.Errorf("class d14 rollup: %+v", r)
+	}
+	tables := map[string]Rollup{}
+	for _, r := range p.Tables {
+		tables[r.Key] = r
+	}
+	if r := tables["Order"]; r.Events != 2 || r.Seen != 3 {
+		t.Errorf("table Order rollup: %+v", r)
+	}
+	if r := tables["Sku"]; r.Events != 1 || r.Seen != 2 {
+		t.Errorf("table Sku rollup (dup table must count once): %+v", r)
+	}
+	pairs := map[string]Rollup{}
+	for _, r := range p.Pairs {
+		pairs[r.Key] = r
+	}
+	if r := pairs[PairKey("UpdateSku", "Checkout")]; r.Events != 1 {
+		t.Errorf("pair rollup: %+v", r)
+	}
+
+	// Event filters.
+	if got := len(s.Events(EventQuery{Table: "Order"})); got != 2 {
+		t.Errorf("Events(Table=Order) = %d, want 2", got)
+	}
+	if got := len(s.Events(EventQuery{Class: "d14"})); got != 1 {
+		t.Errorf("Events(Class=d14) = %d, want 1", got)
+	}
+	if got := len(s.Events(EventQuery{API: "Checkout"})); got != 3 {
+		t.Errorf("Events(API=Checkout) = %d, want 3", got)
+	}
+	if got := len(s.Events(EventQuery{Limit: 2})); got != 2 {
+		t.Errorf("Events(Limit=2) = %d, want 2", got)
+	}
+
+	// Windowed table trend: only the re-sighted event falls in a window
+	// starting after the first batch.
+	all := s.TableCounts(time.Time{})
+	if len(all) == 0 || all[0].Table != "Order" {
+		t.Errorf("TableCounts order: %+v", all)
+	}
+	ev := s.Events(EventQuery{Class: "d1"})[0]
+	recent := s.TableCounts(ev.LastSeen)
+	names := map[string]bool{}
+	for _, c := range recent {
+		names[c.Table] = true
+	}
+	if !names["Sku"] || names["Product"] {
+		t.Errorf("windowed TableCounts: %+v", recent)
+	}
+}
+
+func TestIngestRejectsFingerprintless(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "history.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Ingest([]Event{{APIs: [2]string{"A", "B"}}}); err == nil {
+		t.Fatal("ingest accepted an event without a fingerprint")
+	}
+}
+
+// TestBatchInternalDedup: the same fingerprint twice in one batch
+// stores once and touches once.
+func TestBatchInternalDedup(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "history.wal"), WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ev := testEvents()[0]
+	sum, err := s.Ingest([]Event{ev, ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stored != 1 || sum.Deduped != 1 || sum.Events != 1 {
+		t.Fatalf("batch dedup: %+v", sum)
+	}
+}
+
+// TestManyEventsReload exercises the B-tree indexes past node-split
+// depth and pins replay fidelity at size.
+func TestManyEventsReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.wal")
+	s, err := Open(path, WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for i := 0; i < 500; i++ {
+		events = append(events, Event{
+			Fingerprint: fmt.Sprintf("%016x", i),
+			Class:       fmt.Sprintf("f%d", i%11+1),
+			APIs:        [2]string{fmt.Sprintf("API%d", i%17), fmt.Sprintf("API%d", i%13)},
+			Tables:      []string{fmt.Sprintf("T%d", i%29), fmt.Sprintf("T%d", i%7)},
+		})
+	}
+	if _, err := s.Ingest(events); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if string(before) != string(snapshot(t, s2)) {
+		t.Fatal("500-event reload diverged")
+	}
+	if s2.Len() != 500 {
+		t.Fatalf("len = %d", s2.Len())
+	}
+}

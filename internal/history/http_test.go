@@ -1,0 +1,299 @@
+package history
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"weseer/internal/obs"
+	"weseer/internal/trace"
+)
+
+// newTestServer wires a Server over a fresh store with a fake analyzer
+// that maps each trace to one event keyed by the trace's API name.
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	store, err := Open(filepath.Join(t.TempDir(), "history.wal"), WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	reg := obs.NewRegistry()
+	srv := &Server{
+		Store: store,
+		Analyze: func(_ context.Context, app string, traces []*trace.Trace) ([]Event, error) {
+			var events []Event
+			for _, tr := range traces {
+				events = append(events, Event{
+					Fingerprint: fmt.Sprintf("%016x", len(tr.API)),
+					App:         app,
+					APIs:        [2]string{tr.API, tr.API},
+					Tables:      []string{"T"},
+				})
+			}
+			return events, nil
+		},
+		Metrics: RegisterMetrics(reg),
+	}
+	mux := http.NewServeMux()
+	for _, rt := range srv.Routes() {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return srv, ts, reg
+}
+
+func postIngest(t *testing.T, ts *httptest.Server, query string, body any) (IngestSummary, *http.Response) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/ingest"+query, obs.ContentTypeJSON, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum IngestSummary
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+			t.Fatalf("decode summary: %v", err)
+		}
+	}
+	return sum, resp
+}
+
+func TestIngestEventsAndQueries(t *testing.T) {
+	_, ts, reg := newTestServer(t)
+
+	sum, resp := postIngest(t, ts, "?format=events", testEvents())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypeJSON {
+		t.Errorf("ingest Content-Type = %q", got)
+	}
+	if sum.Stored != 3 || sum.Deduped != 0 {
+		t.Fatalf("first ingest: %+v", sum)
+	}
+	// Idempotent on re-post.
+	sum, _ = postIngest(t, ts, "?format=events", testEvents())
+	if sum.Stored != 0 || sum.Deduped != 3 {
+		t.Fatalf("re-ingest: %+v", sum)
+	}
+
+	// Metrics reflect both batches.
+	snap := reg.Snapshot()
+	if snap["weseer_history_events"] != 3 ||
+		snap["weseer_history_ingest_stored_total"] != 3 ||
+		snap["weseer_history_ingest_dedup_total"] != 3 ||
+		snap["weseer_history_ingest_batches_total"] != 2 ||
+		snap["weseer_history_ingest_seconds_count"] != 2 {
+		t.Errorf("metrics snapshot: %+v", snap)
+	}
+
+	// JSON event query with filter.
+	resp2, err := http.Get(ts.URL + "/history/events?class=d14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get("Content-Type"); got != obs.ContentTypeJSON {
+		t.Errorf("events Content-Type = %q", got)
+	}
+	var events []Event
+	if err := json.NewDecoder(resp2.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Class != "d14" {
+		t.Fatalf("filtered events: %+v", events)
+	}
+
+	// Patterns, text format.
+	resp3, err := http.Get(ts.URL + "/history/patterns?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if got := resp3.Header.Get("Content-Type"); got != obs.ContentTypeText {
+		t.Errorf("patterns text Content-Type = %q", got)
+	}
+	text := string(body)
+	for _, want := range []string{"3 event(s), 6 sighting(s)", "d1", "d14", "Order", "Checkout -- UpdateSku"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("patterns text missing %q:\n%s", want, text)
+		}
+	}
+
+	// Tables with a window that excludes everything.
+	resp4, err := http.Get(ts.URL + "/history/tables?window=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	var counts []TableCount
+	if err := json.Unmarshal(body, &counts); err != nil {
+		t.Fatalf("tables JSON: %v\n%s", err, body)
+	}
+	if len(counts) != 0 {
+		t.Errorf("1ns window should be empty: %+v", counts)
+	}
+}
+
+func TestIngestTracesRunsAnalyzer(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	traces := []*trace.Trace{{API: "Checkout"}, {API: "AddSku"}, {API: "Checkout"}}
+	sum, resp := postIngest(t, ts, "?app=shop", traces)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// "Checkout" twice → same fingerprint → one stored, one deduped.
+	if sum.Received != 3 || sum.Stored != 2 || sum.Deduped != 1 {
+		t.Fatalf("trace ingest: %+v", sum)
+	}
+	resp2, err := http.Get(ts.URL + "/history/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var events []Event
+	if err := json.NewDecoder(resp2.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.App != "shop" {
+			t.Errorf("event app = %q, want shop", e.App)
+		}
+	}
+}
+
+func TestIngestReportFormat(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	report := map[string]any{
+		"deadlocks": []map[string]any{
+			{"fingerprint": "00000000000000aa", "catalog": "d3",
+				"apis": []string{"A", "B"}, "tables": []string{"X", "Y"}, "count": 5},
+		},
+	}
+	sum, resp := postIngest(t, ts, "?format=report&app=demo", report)
+	if resp.StatusCode != http.StatusOK || sum.Stored != 1 {
+		t.Fatalf("report ingest: status %d sum %+v", resp.StatusCode, sum)
+	}
+	resp2, err := http.Get(ts.URL + "/history/events?table=X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var events []Event
+	if err := json.NewDecoder(resp2.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Class != "d3" || events[0].Seen != 1 || events[0].Count != 5 {
+		t.Fatalf("report-ingested event: %+v", events)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	srv, ts, reg := newTestServer(t)
+
+	// GET is rejected.
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest status %d", resp.StatusCode)
+	}
+
+	// Bad JSON is a 400 and counts as an error.
+	resp, err = http.Post(ts.URL+"/ingest?format=events", obs.ContentTypeJSON, strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypeJSON {
+		t.Errorf("error Content-Type = %q", got)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Errorf("error body %q", body)
+	}
+
+	// Unknown format.
+	resp, err = http.Post(ts.URL+"/ingest?format=parquet", obs.ContentTypeJSON, strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format status %d", resp.StatusCode)
+	}
+
+	// Trace ingest without an analyzer.
+	srv.Analyze = nil
+	resp, err = http.Post(ts.URL+"/ingest", obs.ContentTypeJSON, strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("no-analyzer status %d", resp.StatusCode)
+	}
+
+	if got := reg.Snapshot()["weseer_history_ingest_errors_total"]; got != 3 {
+		t.Errorf("ingest_errors_total = %v, want 3", got)
+	}
+
+	// Bad window on a query endpoint.
+	resp, err = http.Get(ts.URL + "/history/tables?window=tomorrow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad window status %d", resp.StatusCode)
+	}
+}
+
+func TestEventsTextFormat(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	if _, err := srv.Store.Ingest(testEvents()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/history/events?format=text&class=d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"1 event(s)",
+		"00000000000000a1",
+		"Checkout -- UpdateSku",
+		"UPDATE Sku SET qty = ? (cart.go:42)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("events text missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, time.Date(2026, 8, 8, 12, 1, 0, 0, time.UTC).Format(time.RFC3339)) {
+		t.Errorf("events text missing first-seen timestamp:\n%s", text)
+	}
+}

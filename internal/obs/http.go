@@ -1,10 +1,15 @@
 package obs
 
-// The live debug endpoint behind `weseer analyze -debug-addr`: /metrics
-// serves the registry in Prometheus text format, /progress serves the
-// run's live Snapshot as JSON, and /debug/pprof/* exposes the stdlib
-// profiler. The server binds synchronously (so a bad address fails
-// fast and tests can use ":0") and shuts down cleanly via Close.
+// The live debug endpoint behind `weseer analyze -debug-addr` and the
+// `weseer serve` daemon: /metrics serves the registry in Prometheus
+// text format, /progress serves the run's live Snapshot as JSON,
+// /debug/pprof/* exposes the stdlib profiler, and callers may mount
+// additional routes (the history store's /ingest and /history/*
+// endpoints) on the same listener. Every handler sets an explicit
+// Content-Type — the Prometheus text exposition type for /metrics,
+// application/json for JSON endpoints — pinned by TestDebugServerContentTypes.
+// The server binds synchronously (so a bad address fails fast and tests
+// can use ":0") and shuts down cleanly via Close.
 
 import (
 	"context"
@@ -15,6 +20,21 @@ import (
 	"time"
 )
 
+// Content types the debug endpoints serve with. Exported so mounted
+// routes (internal/history) answer with the exact same headers.
+const (
+	ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeJSON       = "application/json"
+	ContentTypeText       = "text/plain; charset=utf-8"
+)
+
+// Route is an extra HTTP route mounted on the debug server's mux, in
+// net/http.ServeMux pattern syntax.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // DebugServer serves an observer's live state over HTTP.
 type DebugServer struct {
 	ln   net.Listener
@@ -23,19 +43,22 @@ type DebugServer struct {
 }
 
 // StartDebugServer binds addr (e.g. ":6060", or ":0" for an ephemeral
-// port) and serves o's metrics and progress plus net/http/pprof. The
-// listener is bound synchronously; serving happens in a background
-// goroutine until Close.
-func StartDebugServer(addr string, o *Observer) (*DebugServer, error) {
+// port) and serves o's metrics and progress plus net/http/pprof,
+// alongside any extra routes (the long-lived `weseer serve` daemon
+// mounts the history store's ingest and query endpoints here, so one
+// listener carries both telemetry and service traffic). The listener is
+// bound synchronously; serving happens in a background goroutine until
+// Close.
+func StartDebugServer(addr string, o *Observer, extra ...Route) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", ContentTypePrometheus)
 		if o != nil && o.Metrics != nil {
 			_ = o.Metrics.WritePrometheus(w)
 		}
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", ContentTypeJSON)
 		var snap Snapshot
 		if o != nil {
 			snap = o.Progress.Snapshot()
@@ -44,6 +67,9 @@ func StartDebugServer(addr string, o *Observer) (*DebugServer, error) {
 		}
 		_ = json.NewEncoder(w).Encode(snap)
 	})
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -111,4 +111,37 @@ echo "$genout" | grep -Eq '^  f1 +[0-9]+ report' || {
 echo "== enumeration smoke (weseer-bench -exp enum, tiny corpus)"
 go run ./cmd/weseer-bench -exp enum -enumsizes 24 -enumout "" >/dev/null
 
+# Continuous-diagnosis smoke: a real `weseer serve` daemon on a loopback
+# port, fed the tiny pinned-seed generated corpus twice through the
+# `weseer ingest` client. The second ingest must store zero new events
+# (fingerprint idempotency) and the pattern rollups must name the
+# planted anti-pattern classes. The restart/durability path is covered
+# by the Go test suite (TestServeRoundTripRestart, TestStoreDurability).
+echo "== serve smoke (weseer serve round-trip, idempotent ingest)"
+genspec="gen:7,templates=12,modules=3,tables=4,rows=6"
+servedir=$(mktemp -d)
+trap 'rm -rf "$obsdir" "$servedir"; [ -n "$servepid" ] && kill "$servepid" 2>/dev/null' EXIT
+go build -o "$servedir/weseer" ./cmd/weseer
+"$servedir/weseer" collect -app "$genspec" -o "$servedir/traces.json" >/dev/null
+"$servedir/weseer" serve -store "$servedir/history.wal" -addr 127.0.0.1:0 \
+    -app "$genspec" > "$servedir/url.txt" 2>/dev/null &
+servepid=$!
+i=0
+while [ ! -s "$servedir/url.txt" ] && [ $i -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+[ -s "$servedir/url.txt" ] || { echo "serve smoke: daemon printed no URL" >&2; exit 1; }
+"$servedir/weseer" ingest -addr "@$servedir/url.txt" -i "$servedir/traces.json" >/dev/null
+second=$("$servedir/weseer" ingest -addr "@$servedir/url.txt" -i "$servedir/traces.json")
+echo "$second" | grep -q ' 0 stored,' || {
+    echo "serve smoke: re-ingest was not idempotent: $second" >&2
+    exit 1
+}
+"$servedir/weseer" history -addr "@$servedir/url.txt" patterns |
+    grep -Eq '^ *f1 +[0-9]+ event' || {
+    echo "serve smoke: /history/patterns does not name planted class f1" >&2
+    exit 1
+}
+kill "$servepid" 2>/dev/null
+wait "$servepid" 2>/dev/null || true
+servepid=""
+
 echo "verify: OK"
