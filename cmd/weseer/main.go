@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-enum-index=false] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
-//	weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
-//	weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [observability flags]
+//	weseer run     -app NAME [-fixed] [-apply f2,f5] [-fixplan] [-coarse] [-prescreen] [-enum-index=false] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [observability flags]
+//	weseer collect -app NAME [-fixed] [-apply f2,f5] [-no-prune] -o traces.json
+//	weseer analyze -app NAME -i traces.json [-fixplan] [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [observability flags]
 //	weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
 //	weseer serve   -store FILE [-addr HOST:PORT] [-app NAME] [-timeout D] [analysis flags]
 //	weseer ingest  -addr HOST:PORT|@file -i traces.json [-app NAME] [-format traces|report|events]
@@ -35,6 +35,13 @@
 // -enum-index=false falls back to the serial quadratic phase-1/2 pair
 // loop instead of the indexed, parallel enumeration (ablation; the
 // report is byte-identical either way).
+//
+// -fixed applies every cataloged fix to the app before collection;
+// -apply applies a chosen subset by name (f1..f11 for the model apps,
+// planted class names for gen corpora). -fixplan appends the ranked
+// fix plan (internal/fixapply) to the text report: which fixes to
+// apply, in what order, and which deadlock fingerprints each targets
+// — the input to the weseer-bench fixgain verification loop.
 //
 // -parallel sets the phase-3 worker count (0 = GOMAXPROCS); the report
 // is identical at any setting. -timeout bounds the analysis wall time
@@ -76,12 +83,14 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"weseer/internal/apps"
 	"weseer/internal/apps/appkit"
 	"weseer/internal/concolic"
 	"weseer/internal/core"
+	"weseer/internal/fixapply"
 	"weseer/internal/minidb"
 	"weseer/internal/obs"
 	"weseer/internal/replay"
@@ -123,9 +132,9 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  weseer run     -app NAME [-fixed] [-coarse] [-prescreen] [-enum-index=false] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
-  weseer collect -app NAME [-fixed] [-no-prune] -o traces.json
-  weseer analyze -app NAME -i traces.json [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [obs flags]
+  weseer run     -app NAME [-fixed] [-apply f2,f5] [-fixplan] [-coarse] [-prescreen] [-enum-index=false] [-plans] [-parallel N] [-timeout D] [-json] [-reproduce] [-v] [obs flags]
+  weseer collect -app NAME [-fixed] [-apply f2,f5] [-no-prune] -o traces.json
+  weseer analyze -app NAME -i traces.json [-fixplan] [-coarse] [-prescreen] [-enum-index=false] [-parallel N] [-timeout D] [-json] [obs flags]
   weseer vet     [-app NAME|none] [-json] [-fail-on info|warn|error] [-canonical-order] [dir ...]
   weseer serve   -store FILE [-addr HOST:PORT] [-app NAME] [-timeout D] [analysis flags]
   weseer ingest  -addr HOST:PORT|@file -i traces.json [-app NAME] [-format traces|report|events]
@@ -213,6 +222,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 // kept so the command's internal call sites stay shaped as before; new
 // code should call apps.Open directly.
 type appUnit struct {
+	app      apps.App
 	schema   *schema.Schema
 	db       *minidb.DB
 	tests    []appkit.UnitTest
@@ -220,12 +230,13 @@ type appUnit struct {
 	srcDir   string // "" when the app has no on-disk source (generated)
 }
 
-func makeApp(name string, fixed bool) (*appUnit, error) {
-	app, err := apps.Open(name, apps.Options{Fixed: fixed})
+func makeApp(name string, fixed bool, apply []string) (*appUnit, error) {
+	app, err := apps.Open(name, apps.Options{Fixed: fixed, Apply: apply})
 	if err != nil {
 		return nil, err
 	}
 	u := &appUnit{
+		app:      app,
 		schema:   app.Schema(),
 		db:       app.DB(),
 		tests:    app.UnitTests(),
@@ -237,10 +248,23 @@ func makeApp(name string, fixed bool) (*appUnit, error) {
 	return u, nil
 }
 
+// splitApply parses the -apply flag ("" = none, "f2,f9" = those fixes).
+func splitApply(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func cmdRun(args []string) (err error) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	appName := fs.String("app", "broadleaf", "application to diagnose")
 	fixed := fs.Bool("fixed", false, "apply the Table II fixes before collecting")
+	apply := fs.String("apply", "", "comma-separated fix names to apply before collecting (e.g. f2,f5)")
+	fixplan := fs.Bool("fixplan", false, "print the ranked fix plan (internal/fixapply) after the report")
 	coarse := fs.Bool("coarse", false, "STEPDAD/REDACT-style coarse baseline (no SMT)")
 	prescreen := fs.Bool("prescreen", false, "enable the Phase-0 static prescreen (weseer vet analysis)")
 	enumIndex := fs.Bool("enum-index", true, "use the indexed, parallel phase-1/2 enumeration (=false: serial quadratic pair loop)")
@@ -253,7 +277,7 @@ func cmdRun(args []string) (err error) {
 	of := registerObsFlags(fs)
 	fs.Parse(args)
 
-	app, err := makeApp(*appName, *fixed)
+	app, err := makeApp(*appName, *fixed, splitApply(*apply))
 	if err != nil {
 		return err
 	}
@@ -296,10 +320,14 @@ func cmdRun(args []string) (err error) {
 		return printJSON(res, app.classify)
 	}
 	printReport(res, app.classify, *verbose)
+	if *fixplan {
+		fmt.Println()
+		fmt.Print(fixapply.Render(fixapply.Plan(app.app, res)))
+	}
 	if *reproduce && !*coarse {
 		fmt.Println("\nautomatic reproduction (replaying each cycle against a rebuilt database):")
 		outcomes := replay.ReproduceReport(res, func() (*minidb.DB, []appkit.UnitTest) {
-			fresh, _ := makeApp(*appName, *fixed)
+			fresh, _ := makeApp(*appName, *fixed, splitApply(*apply))
 			return fresh.db, fresh.tests
 		})
 		counts := map[replay.Status]int{}
@@ -317,11 +345,12 @@ func cmdCollect(args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ExitOnError)
 	appName := fs.String("app", "broadleaf", "application to diagnose")
 	fixed := fs.Bool("fixed", false, "apply the Table II fixes")
+	apply := fs.String("apply", "", "comma-separated fix names to apply (e.g. f2,f5)")
 	noPrune := fs.Bool("no-prune", false, "disable Sec. IV path-condition pruning")
 	out := fs.String("o", "traces.json", "output file")
 	fs.Parse(args)
 
-	app, err := makeApp(*appName, *fixed)
+	app, err := makeApp(*appName, *fixed, splitApply(*apply))
 	if err != nil {
 		return err
 	}
@@ -358,11 +387,12 @@ func cmdAnalyze(args []string) (err error) {
 	parallel := fs.Int("parallel", 0, "phase-3 worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "bound the analysis wall time (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report instead of text")
+	fixplan := fs.Bool("fixplan", false, "print the ranked fix plan (internal/fixapply) after the report")
 	verbose := fs.Bool("v", false, "print every deadlock report")
 	of := registerObsFlags(fs)
 	fs.Parse(args)
 
-	app, err := makeApp(*appName, false)
+	app, err := makeApp(*appName, false, nil)
 	if err != nil {
 		return err
 	}
@@ -395,6 +425,10 @@ func cmdAnalyze(args []string) (err error) {
 		return printJSON(res, app.classify)
 	}
 	printReport(res, app.classify, *verbose)
+	if *fixplan {
+		fmt.Println()
+		fmt.Print(fixapply.Render(fixapply.Plan(app.app, res)))
+	}
 	return nil
 }
 

@@ -104,7 +104,7 @@ func newHistoryServer(st *history.Store, o *obs.Observer, cfg serveConfig) *hist
 			if appName == "" {
 				appName = cfg.defaultApp
 			}
-			app, err := makeApp(appName, false)
+			app, err := makeApp(appName, false, nil)
 			if err != nil {
 				return nil, err
 			}

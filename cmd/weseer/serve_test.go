@@ -53,7 +53,7 @@ func (d *daemon) stop(t *testing.T) {
 // returns the trace batch as the JSON `weseer collect` would write.
 func collectTraces(t *testing.T, appName string) []byte {
 	t.Helper()
-	app, err := makeApp(appName, false)
+	app, err := makeApp(appName, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

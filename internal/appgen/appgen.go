@@ -32,16 +32,34 @@ type App struct {
 	spec    string
 	scm     *schema.Schema
 	db      *minidb.DB
+	dbCfg   minidb.Config
 	mapping *orm.Mapping
 	mods    []module
 	fillers []template
 	planted []plantedInstance
 	classOf map[string]string // planted table → class
+	fixed   map[string]bool   // planted classes compiled as their fixed variant
+}
+
+// Option adjusts generation beyond the spec.
+type Option func(*App)
+
+// WithFixedClasses compiles the named planted classes as their
+// mechanically-fixed template variants (see plantedTemplates). Schema,
+// seeding, template names, and symbolic input names are unchanged — only
+// the template bodies differ — so fixed and unfixed corpora are directly
+// comparable. Unknown class names panic via New's validation.
+func WithFixedClasses(classes ...string) Option {
+	return func(a *App) {
+		for _, cl := range classes {
+			a.fixed[cl] = true
+		}
+	}
 }
 
 // New generates the application for cfg (normalized first) with a fresh
 // seeded database.
-func New(cfg Config, dbCfg minidb.Config) *App {
+func New(cfg Config, dbCfg minidb.Config, opts ...Option) *App {
 	cfg = cfg.Normalize()
 	if dbCfg.LockWaitTimeout == 0 {
 		dbCfg.LockWaitTimeout = 2 * time.Second
@@ -52,17 +70,29 @@ func New(cfg Config, dbCfg minidb.Config) *App {
 		cfg:     cfg,
 		spec:    cfg.Spec(),
 		scm:     scm,
+		dbCfg:   dbCfg,
 		classOf: map[string]string{},
+		fixed:   map[string]bool{},
+	}
+	for _, o := range opts {
+		o(a)
 	}
 	a.mods = buildModules(cfg, r, scm)
 	a.fillers = buildTemplates(cfg, r, a.mods)
+	planted := map[string]bool{}
 	for _, cc := range cfg.Classes {
+		planted[cc.Class] = true
 		for i := 0; i < cc.N; i++ {
 			inst := plant(scm, cc.Class, i)
 			for _, tab := range inst.Tables {
 				a.classOf[tab] = cc.Class
 			}
 			a.planted = append(a.planted, inst)
+		}
+	}
+	for cl := range a.fixed {
+		if !planted[cl] {
+			panic(fmt.Sprintf("appgen: WithFixedClasses(%q): class not planted in %s", cl, a.spec))
 		}
 	}
 	a.db = minidb.Open(scm, dbCfg)
@@ -72,12 +102,40 @@ func New(cfg Config, dbCfg minidb.Config) *App {
 }
 
 // FromSpec generates the application named "gen:"+spec.
-func FromSpec(spec string, dbCfg minidb.Config) (*App, error) {
+func FromSpec(spec string, dbCfg minidb.Config, opts ...Option) (*App, error) {
 	cfg, err := ParseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	return New(cfg, dbCfg), nil
+	return New(cfg, dbCfg, opts...), nil
+}
+
+// Refix regenerates the same application (same spec, same database
+// config, fresh seeded database) with exactly the given classes fixed —
+// the "apply this fix and rerun" step of the fix-verification loop.
+func (a *App) Refix(classes ...string) (*App, error) {
+	planted := map[string]bool{}
+	for _, cc := range a.cfg.Classes {
+		planted[cc.Class] = true
+	}
+	for _, cl := range classes {
+		if !planted[cl] {
+			return nil, fmt.Errorf("appgen: Refix(%q): class not planted in %s", cl, a.spec)
+		}
+	}
+	return New(a.cfg, a.dbCfg, WithFixedClasses(classes...)), nil
+}
+
+// FixedClasses lists the classes compiled as fixed variants, in catalog
+// order.
+func (a *App) FixedClasses() []string {
+	var out []string
+	for _, cc := range a.cfg.Classes {
+		if a.fixed[cc.Class] {
+			out = append(out, cc.Class)
+		}
+	}
+	return out
 }
 
 // seed inserts cfg.Rows rows into every table: ID = 1..Rows, every other
@@ -171,6 +229,9 @@ func (a *App) Manifest() string {
 	fmt.Fprintf(&b, "appgen %s\n", a.Name())
 	fmt.Fprintf(&b, "tables=%d templates=%d planted=%d\n",
 		len(a.scm.Tables()), len(a.fillers), len(a.planted))
+	if fc := a.FixedClasses(); len(fc) > 0 {
+		fmt.Fprintf(&b, "fixed=%s\n", strings.Join(fc, "+"))
+	}
 	for _, m := range a.mods {
 		fmt.Fprintf(&b, "module %s hub=%s reads=%s ins=%s\n",
 			m.Name, m.Hub, strings.Join(m.Reads, "+"), strings.Join(m.Ins, "+"))

@@ -15,6 +15,7 @@ import (
 	"weseer/internal/core"
 	"weseer/internal/minidb"
 	"weseer/internal/schema"
+	"weseer/internal/workload"
 )
 
 // App is the surface the diagnosis pipeline needs from an application:
@@ -38,11 +39,21 @@ type Sourcer interface {
 	SourceDir() string
 }
 
+// Workloader is implemented by apps that can drive the Fig. 10/11
+// concurrent-client harness (internal/workload).
+type Workloader interface {
+	Flow() workload.Flow
+}
+
 // Options configure Open.
 type Options struct {
-	// Fixed applies the application's Table II fixes before collecting.
-	// Factories without a fixed variant (generated corpora) reject it.
+	// Fixed applies all of the application's Table II fixes before
+	// collecting. For generated corpora it fixes every planted class.
 	Fixed bool
+	// Apply enables exactly the named fixes ("f1".."f11") — the
+	// fix-verification loop's incremental configurations. Mutually
+	// additive with Fixed (Fixed wins when set).
+	Apply []string
 	// DB overrides the database configuration (zero value = app
 	// defaults).
 	DB minidb.Config

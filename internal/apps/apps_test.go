@@ -47,7 +47,9 @@ func TestOpenErrors(t *testing.T) {
 		{spec: "nosuchapp"},
 		{spec: "broadleaf:extra"},
 		{spec: "gen:notanumber"},
-		{spec: "gen:1", opt: Options{Fixed: true}},
+		{spec: "broadleaf", opt: Options{Apply: []string{"f9"}}},
+		{spec: "shopizer", opt: Options{Apply: []string{"f1"}}},
+		{spec: "gen:1,classes=f1:1", opt: Options{Apply: []string{"f9"}}},
 	}
 	for _, c := range cases {
 		if _, err := Open(c.spec, c.opt); err == nil {

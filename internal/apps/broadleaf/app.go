@@ -68,6 +68,35 @@ func FixNames() []string {
 	return []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"}
 }
 
+// FixesFrom returns the fix set with exactly the named fixes enabled —
+// the fix-verification loop's incremental configurations.
+func FixesFrom(names []string) (Fixes, error) {
+	var f Fixes
+	for _, n := range names {
+		switch n {
+		case "f1":
+			f.F1 = true
+		case "f2":
+			f.F2 = true
+		case "f3":
+			f.F3 = true
+		case "f4":
+			f.F4 = true
+		case "f5":
+			f.F5 = true
+		case "f6":
+			f.F6 = true
+		case "f7":
+			f.F7 = true
+		case "f8":
+			f.F8 = true
+		default:
+			return Fixes{}, fmt.Errorf("broadleaf: unknown fix %q", n)
+		}
+	}
+	return f, nil
+}
+
 // App is one deployment of the model application over its database.
 type App struct {
 	DB      *minidb.DB

@@ -11,6 +11,7 @@ import (
 	"weseer/internal/core"
 	"weseer/internal/minidb"
 	"weseer/internal/schema"
+	"weseer/internal/workload"
 )
 
 // wrapped adapts the hand-written model apps (whose exported surface
@@ -24,6 +25,8 @@ type wrapped struct {
 	tests    []appkit.UnitTest
 	classify func(*core.Deadlock) string
 	srcDir   string
+	flow     workload.Flow
+	catalog  []appkit.Expectation
 }
 
 func (w *wrapped) Name() string                     { return w.name }
@@ -32,6 +35,8 @@ func (w *wrapped) DB() *minidb.DB                   { return w.db }
 func (w *wrapped) UnitTests() []appkit.UnitTest     { return w.tests }
 func (w *wrapped) Classify(d *core.Deadlock) string { return w.classify(d) }
 func (w *wrapped) SourceDir() string                { return w.srcDir }
+func (w *wrapped) Flow() workload.Flow              { return w.flow }
+func (w *wrapped) Catalog() []appkit.Expectation    { return w.catalog }
 
 func init() {
 	Register("broadleaf", Factory{
@@ -40,7 +45,10 @@ func init() {
 			if arg != "" {
 				return nil, fmt.Errorf("broadleaf takes no argument (got %q)", arg)
 			}
-			fixes := broadleaf.Fixes{}
+			fixes, err := broadleaf.FixesFrom(opt.Apply)
+			if err != nil {
+				return nil, err
+			}
 			if opt.Fixed {
 				fixes = broadleaf.AllFixes()
 			}
@@ -48,7 +56,9 @@ func init() {
 			return &wrapped{
 				name: "broadleaf", scm: broadleaf.Schema(), db: app.DB,
 				tests: app.UnitTests(), classify: broadleaf.Classify,
-				srcDir: filepath.Join("internal", "apps", "broadleaf"),
+				srcDir:  filepath.Join("internal", "apps", "broadleaf"),
+				flow:    app.Flow(),
+				catalog: broadleaf.Expectations(),
 			}, nil
 		},
 	})
@@ -58,7 +68,10 @@ func init() {
 			if arg != "" {
 				return nil, fmt.Errorf("shopizer takes no argument (got %q)", arg)
 			}
-			fixes := shopizer.Fixes{}
+			fixes, err := shopizer.FixesFrom(opt.Apply)
+			if err != nil {
+				return nil, err
+			}
 			if opt.Fixed {
 				fixes = shopizer.AllFixes()
 			}
@@ -66,17 +79,42 @@ func init() {
 			return &wrapped{
 				name: "shopizer", scm: shopizer.Schema(), db: app.DB,
 				tests: app.UnitTests(), classify: shopizer.Classify,
-				srcDir: filepath.Join("internal", "apps", "shopizer"),
+				srcDir:  filepath.Join("internal", "apps", "shopizer"),
+				flow:    app.Flow(),
+				catalog: shopizer.Expectations(),
 			}, nil
 		},
 	})
 	Register("gen", Factory{
 		Summary: "synthetic corpus generator: gen:<seed>[,templates=N,modules=K,tables=T,rows=R,hot=P,nest=D,classes=f1:1+...|all|none]",
 		New: func(arg string, opt Options) (App, error) {
-			if opt.Fixed {
-				return nil, fmt.Errorf("generated corpora have no fixed variant (drop -fixed)")
+			cfg, err := appgen.ParseSpec(arg)
+			if err != nil {
+				return nil, err
 			}
-			return appgen.FromSpec(arg, opt.DB)
+			cfg = cfg.Normalize()
+			planted := map[string]bool{}
+			for _, cc := range cfg.Classes {
+				if cc.N > 0 {
+					planted[cc.Class] = true
+				}
+			}
+			apply := opt.Apply
+			if opt.Fixed {
+				// Fixed = fix every planted class.
+				apply = nil
+				for _, cc := range cfg.Classes {
+					if cc.N > 0 {
+						apply = append(apply, cc.Class)
+					}
+				}
+			}
+			for _, cl := range apply {
+				if !planted[cl] {
+					return nil, fmt.Errorf("gen:%s: fix %q targets a class not planted in this corpus", arg, cl)
+				}
+			}
+			return appgen.New(cfg, opt.DB, appgen.WithFixedClasses(apply...)), nil
 		},
 	})
 }

@@ -55,6 +55,25 @@ func (f Fixes) Disable(name string) Fixes {
 // FixNames lists the Shopizer fixes in Fig. 11 order.
 func FixNames() []string { return []string{"f9", "f10", "f11"} }
 
+// FixesFrom returns the fix set with exactly the named fixes enabled —
+// the fix-verification loop's incremental configurations.
+func FixesFrom(names []string) (Fixes, error) {
+	var f Fixes
+	for _, n := range names {
+		switch n {
+		case "f9":
+			f.F9 = true
+		case "f10":
+			f.F10 = true
+		case "f11":
+			f.F11 = true
+		default:
+			return Fixes{}, fmt.Errorf("shopizer: unknown fix %q", n)
+		}
+	}
+	return f, nil
+}
+
 // App is one deployment of the model application.
 type App struct {
 	DB      *minidb.DB

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"weseer/internal/schema"
+	"weseer/internal/smt"
+	"weseer/internal/sqlast"
+	"weseer/internal/trace"
+)
+
+// Edit hints: the bridge from a diagnosed cycle to the mechanical fix
+// classes the fix-verification loop can apply (internal/fixapply). Each
+// hint names one rewrite family from the paper's Table II fix column;
+// the mapping is derived purely from the cycle's hold/wait statement
+// shapes, so it is deterministic and needs no app-specific knowledge.
+
+// EditHint is one applicable-edit family for a diagnosed deadlock.
+type EditHint uint8
+
+const (
+	// HintReorder: both cycle sides hold and wait on plain writes — an
+	// acquisition-order inversion fixable by reordering the statements
+	// (feedback-edge inversion, fixes f6/f10/f11).
+	HintReorder EditHint = iota + 1
+	// HintUpsert: a side holds a point-primary-key SELECT and waits on an
+	// INSERT into the same table — the check-then-insert / merge-on-absent
+	// shape fixable by a single atomic UPSERT (fixes f1/f2).
+	HintUpsert
+	// HintFlushBarrier: a held write was physically sent at a different
+	// site than it was triggered (ORM write-behind flush reordering) — an
+	// explicit flush restores program order (fix f4).
+	HintFlushBarrier
+	// HintProbeRead: a held SELECT (range scan, or a point read later
+	// upgraded) blocks a peer's write — moving the read into a separate
+	// auto-commit probe transaction releases its locks before the writes
+	// begin (fixes f3/f5/f7/f8/f9).
+	HintProbeRead
+)
+
+// String returns the hint's fix-plan label.
+func (h EditHint) String() string {
+	switch h {
+	case HintReorder:
+		return "reorder"
+	case HintUpsert:
+		return "upsert"
+	case HintFlushBarrier:
+		return "flush-barrier"
+	case HintProbeRead:
+		return "probe-read"
+	}
+	return "unknown"
+}
+
+// EditHints classifies the deadlock's cycle into the applicable-edit
+// families, deduplicated and in EditHint order. scm resolves primary
+// keys for the point-select test; it must be the schema the deadlock was
+// diagnosed against.
+func (d *Deadlock) EditHints(scm *schema.Schema) []EditHint {
+	seen := map[EditHint]bool{}
+	for _, side := range [][2]*trace.Stmt{
+		{d.Cycle.S1a, d.Cycle.S1b},
+		{d.Cycle.S2a, d.Cycle.S2b},
+	} {
+		if h := sideHint(side[0], side[1], scm); h != 0 {
+			seen[h] = true
+		}
+	}
+	var out []EditHint
+	for h := HintReorder; h <= HintProbeRead; h++ {
+		if seen[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// sideHint classifies one cycle side: holds is the statement whose lock
+// the peer waits on, waits is where this transaction blocks.
+func sideHint(holds, waits *trace.Stmt, scm *schema.Schema) EditHint {
+	if sel, ok := holds.Parsed.(*sqlast.Select); ok {
+		w := waits.Parsed.WriteTable()
+		if w != "" && w == sel.From.Table && isPointPK(sel, scm) {
+			switch waits.Parsed.Kind() {
+			case sqlast.KindInsert, sqlast.KindUpsert:
+				return HintUpsert
+			}
+		}
+		return HintProbeRead
+	}
+	if holds.IsWrite() {
+		ht, st := holds.Trigger.Top(), holds.Sent.Top()
+		if st.File != "" && st != ht {
+			return HintFlushBarrier
+		}
+		return HintReorder
+	}
+	return 0
+}
+
+// isPointPK reports whether the select filters on an equality over the
+// FROM table's single-column primary key — the shape whose shared lock
+// covers exactly the row (or gap) the check-then-insert later writes.
+func isPointPK(sel *sqlast.Select, scm *schema.Schema) bool {
+	t := scm.Table(sel.From.Table)
+	if t == nil {
+		return false
+	}
+	pk := t.PrimaryIndex()
+	if pk == nil || len(pk.Columns) != 1 {
+		return false
+	}
+	for _, p := range sel.Where.Preds {
+		if p.IsNull || p.Op != smt.EQ {
+			continue
+		}
+		if colOf(p.L) == pk.Columns[0] || colOf(p.R) == pk.Columns[0] {
+			return true
+		}
+	}
+	return false
+}
+
+func colOf(o sqlast.Operand) string {
+	if o.Kind == sqlast.Col {
+		return o.Column
+	}
+	return ""
+}

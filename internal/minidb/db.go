@@ -155,6 +155,20 @@ func (db *DB) StatsSnapshot() Stats {
 	}
 }
 
+// DeadlockVictimsByTable returns the cumulative deadlock-victim counts
+// keyed by the table of the lock the victim was requesting when it was
+// chosen. The fixgain experiment diffs snapshots around a workload run
+// to attribute aborts to the planted (or fixed) tables.
+func (db *DB) DeadlockVictimsByTable() map[string]int64 {
+	db.lm.mu.Lock()
+	defer db.lm.mu.Unlock()
+	out := make(map[string]int64, len(db.lm.deadlocksBy))
+	for t, n := range db.lm.deadlocksBy {
+		out[t] = n
+	}
+	return out
+}
+
 // table returns the store for a table name.
 func (db *DB) table(name string) *tableStore {
 	ts, ok := db.tables[name]

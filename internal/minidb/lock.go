@@ -109,10 +109,16 @@ type lockManager struct {
 
 	deadlocks atomic.Int64
 	waits     atomic.Int64
+
+	// deadlocksBy counts deadlock victims by the table of the resource
+	// the victim was requesting — the fix-verification loop's evidence
+	// that a fix silenced its table. Guarded by mu (the victim site
+	// already holds it).
+	deadlocksBy map[string]int64
 }
 
 func newLockManager() *lockManager {
-	return &lockManager{queues: map[resource]*lockQueue{}}
+	return &lockManager{queues: map[resource]*lockQueue{}, deadlocksBy: map[string]int64{}}
 }
 
 func (lm *lockManager) queue(res resource) *lockQueue {
@@ -193,6 +199,7 @@ func (lm *lockManager) Acquire(txn *Txn, res resource, mode LockMode, timeout ti
 		lm.removeWaiter(q, req)
 		txn.waitingFor = nil
 		lm.deadlocks.Add(1)
+		lm.deadlocksBy[res.table]++
 		lm.mu.Unlock()
 		return ErrDeadlock
 	}

@@ -1,0 +1,101 @@
+package replay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"weseer/internal/apps/appkit"
+	"weseer/internal/apps/broadleaf"
+	"weseer/internal/apps/shopizer"
+	"weseer/internal/concolic"
+	"weseer/internal/core"
+	"weseer/internal/minidb"
+	"weseer/internal/schema"
+)
+
+// catalogApp is one model app's surface for the whole-catalog pin.
+type catalogApp struct {
+	name     string
+	schema   *schema.Schema
+	classify func(*core.Deadlock) string
+	mkState  func() (*minidb.DB, []appkit.UnitTest)
+}
+
+// catalogApps opens both Table II model apps with a short lock-wait
+// timeout so Blocked outcomes resolve quickly instead of stalling the
+// test for the default 5s per wait.
+func catalogApps() []catalogApp {
+	cfg := minidb.Config{LockWaitTimeout: 250 * time.Millisecond}
+	return []catalogApp{
+		{
+			name:     "broadleaf",
+			schema:   broadleaf.Schema(),
+			classify: broadleaf.Classify,
+			mkState: func() (*minidb.DB, []appkit.UnitTest) {
+				a := broadleaf.New(broadleaf.Fixes{}, cfg)
+				return a.DB, a.UnitTests()
+			},
+		},
+		{
+			name:     "shopizer",
+			schema:   shopizer.Schema(),
+			classify: shopizer.Classify,
+			mkState: func() (*minidb.DB, []appkit.UnitTest) {
+				a := shopizer.New(shopizer.Fixes{}, cfg)
+				return a.DB, a.UnitTests()
+			},
+		},
+	}
+}
+
+// TestCatalogReproducesDeadlocked is the end-to-end true-positive pin:
+// every one of the 18 Table II catalog entries must reproduce as a real
+// engine-detected deadlock when its reported cycle is replayed against
+// collection-time state. A catalog entry whose every report comes back
+// NoConflict or SetupFailed is a regression — either the report lost
+// its concrete parameters or the replayer lost an edge.
+func TestCatalogReproducesDeadlocked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the whole catalog; skip in -short")
+	}
+	reproduced := map[string]bool{}
+	tried := map[string]int{}
+	for _, app := range catalogApps() {
+		_, tests := app.mkState()
+		traces, err := appkit.Collect(tests, concolic.ModeConcolic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.NewAnalyzer(app.schema).Analyze(traces)
+		byClass := map[string][]*core.Deadlock{}
+		for _, d := range res.Deadlocks {
+			if id := app.classify(d); len(id) >= 2 && id[0] == 'd' && id[1] >= '0' && id[1] <= '9' {
+				byClass[id] = append(byClass[id], d)
+			}
+		}
+		for id, ds := range byClass {
+			for _, d := range ds {
+				if reproduced[id] {
+					break
+				}
+				tried[id]++
+				db, tests := app.mkState()
+				if err := appkit.RunPrefix(tests, prefixLen(tests, d.APIs[0], d.APIs[1])); err != nil {
+					t.Fatalf("%s %s: rebuild state: %v", app.name, id, err)
+				}
+				out := Reproduce(db, d.Cycle)
+				if out.Status == Deadlocked {
+					reproduced[id] = true
+				}
+			}
+		}
+	}
+	for i := 1; i <= 18; i++ {
+		id := fmt.Sprintf("d%d", i)
+		if !reproduced[id] {
+			t.Errorf("catalog entry %s: no report reproduced as DEADLOCKED (%d attempt(s))", id, tried[id])
+		}
+	}
+	t.Logf("18/18 check: %d classes reproduced, attempts by class: %v", len(reproduced), tried)
+}

@@ -52,6 +52,20 @@ type Suggestion struct {
 	Evidence []Vote `json:"evidence,omitempty"`
 }
 
+// TemplateAPIs returns the distinct transaction templates whose
+// acquisition sites violate the suggestion — the identities a fix plan
+// uses to match a suggestion to the templates it would rewrite. Sites
+// are already sorted and deduplicated, so the result is deterministic.
+func (s Suggestion) TemplateAPIs() []string {
+	var out []string
+	for _, v := range s.Sites {
+		if n := len(out); n == 0 || out[n-1] != v.API {
+			out = append(out, v.API)
+		}
+	}
+	return out
+}
+
 // CanonicalOrder is the result of lock-order canonicalization: the
 // global acquisition order plus the ranked reorder suggestions where
 // templates disagree.

@@ -44,6 +44,7 @@ type Result struct {
 	Duration   time.Duration
 	APICalls   int64   // successful API calls
 	Failures   int64   // calls that kept failing after retries
+	Retries    int64   // retry attempts burned on failing steps
 	Throughput float64 // successful API calls per second
 	Deadlocks  int64   // deadlock victims (database aborts)
 	AbortsPS   float64 // transaction aborts per second
@@ -57,7 +58,7 @@ func Run(cfg Config, db *minidb.DB, flow Flow) Result {
 		cfg.MaxRetries = 50
 	}
 	before := db.StatsSnapshot()
-	var calls, failures atomic.Int64
+	var calls, failures, retries atomic.Int64
 	deadline := time.Now().Add(cfg.Duration)
 
 	var wg sync.WaitGroup
@@ -72,6 +73,9 @@ func Run(cfg Config, db *minidb.DB, flow Flow) Result {
 				step := next()
 				ok := false
 				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+					if attempt > 0 {
+						retries.Add(1)
+					}
 					if _, err := step(e); err == nil {
 						ok = true
 						break
@@ -99,6 +103,7 @@ func Run(cfg Config, db *minidb.DB, flow Flow) Result {
 		Duration:  cfg.Duration,
 		APICalls:  calls.Load(),
 		Failures:  failures.Load(),
+		Retries:   retries.Load(),
 		Deadlocks: after.Deadlocks - before.Deadlocks,
 		LockWaits: after.LockWaits - before.LockWaits,
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"weseer/internal/appgen"
 	"weseer/internal/apps/broadleaf"
 	"weseer/internal/apps/shopizer"
 	"weseer/internal/minidb"
@@ -108,5 +109,41 @@ func TestRetryBackoffCountsCalls(t *testing.T) {
 	}
 	if res.Clients != 2 {
 		t.Errorf("clients = %d", res.Clients)
+	}
+}
+
+// TestRetriesCountedUnderContention drives a contended unfixed app and
+// checks the retry-burn accounting the fixgain experiment reports: a
+// deadlock-victim or timed-out call re-attempted under RetryBackoff
+// must be counted in Retries, and fixing the planted classes must
+// reduce that burn.
+func TestRetriesCountedUnderContention(t *testing.T) {
+	spec := "13,templates=3,modules=1,tables=2,rows=4,classes=f2:1+f10:1"
+	run := func(fixed ...string) workload.Result {
+		app, err := appgen.FromSpec(spec, dbConfig(), appgen.WithFixedClasses(fixed...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Run(workload.Config{
+			Clients:      8,
+			Duration:     400 * time.Millisecond,
+			RetryBackoff: time.Millisecond,
+			Seed:         42,
+		}, app.DB(), app.Flow())
+	}
+	unfixed := run()
+	fixed := run("f2", "f10")
+	t.Logf("unfixed: %d calls, %d retries, %d deadlocks; fixed: %d calls, %d retries, %d deadlocks",
+		unfixed.APICalls, unfixed.Retries, unfixed.Deadlocks,
+		fixed.APICalls, fixed.Retries, fixed.Deadlocks)
+	if unfixed.Deadlocks == 0 {
+		t.Error("unfixed corpus never deadlocked — no contention to measure")
+	}
+	if unfixed.Retries == 0 {
+		t.Error("deadlock victims were not counted as retries")
+	}
+	if fixed.Retries >= unfixed.Retries && unfixed.Retries > 0 {
+		t.Errorf("fixing the planted classes should cut retry burn: %d -> %d",
+			unfixed.Retries, fixed.Retries)
 	}
 }

@@ -64,10 +64,11 @@ rm -rf "$vetdir"
 
 # The parallel discharge pipeline (worker pool + memo singleflight +
 # cancellation) is the concurrency-bearing code; run it under the race
-# detector. Scoped to the packages that actually spawn goroutines to
-# keep the gate fast.
-echo "== go test -race (core, solver, smt)"
-go test -race ./internal/core/... ./internal/solver/... ./internal/smt/...
+# detector, together with the concurrent-client workload harness that
+# drives the fix-verification loop. Scoped to the packages that
+# actually spawn goroutines to keep the gate fast.
+echo "== go test -race (core, solver, smt, workload)"
+go test -race ./internal/core/... ./internal/solver/... ./internal/smt/... ./internal/workload/...
 
 # Compile-and-run smoke of the microbenchmarks (one iteration each):
 # catches bit-rot in bench-only code without paying for real timing runs.
@@ -110,6 +111,24 @@ echo "$genout" | grep -Eq '^  f1 +[0-9]+ report' || {
 # as a cross-process differential check; -enumout "" skips the artifact.
 echo "== enumeration smoke (weseer-bench -exp enum, tiny corpus)"
 go run ./cmd/weseer-bench -exp enum -enumsizes 24 -enumout "" >/dev/null
+
+# Fix-verification smoke: a tiny pinned-seed generated corpus through
+# the full fixgain loop — diagnose, plan ranked fixes, apply each
+# (individually and cumulatively), re-analyze, and drive the workload
+# before/after. The experiment itself exits nonzero unless every static
+# gate holds (each fix shrinks the report, targeted fingerprints are
+# eliminated from re-analysis) and the fully fixed app aborts fewer
+# transactions on deadlock than the baseline; the grep double-checks
+# the PASS line reached stdout. -fixout "" skips the artifact.
+echo "== fixgain smoke (weseer-bench -exp fixgain, tiny corpus)"
+fixout=$(go run ./cmd/weseer-bench -exp fixgain \
+    -fixapps "gen:5,templates=4,modules=1,tables=3,rows=4,classes=f2:1+f8:1+f10:1" \
+    -fixdur 500ms -fixout "")
+echo "$fixout" | grep -q 'gates=PASS' || {
+    echo "fixgain smoke: gates did not pass:" >&2
+    echo "$fixout" >&2
+    exit 1
+}
 
 # Continuous-diagnosis smoke: a real `weseer serve` daemon on a loopback
 # port, fed the tiny pinned-seed generated corpus twice through the
